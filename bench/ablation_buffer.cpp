@@ -1,0 +1,85 @@
+// Ablation: buffer versus bandwidth (Section 6's explicit claim: "In
+// high-speed networks, allocating appropriate bandwidth is much more
+// effective than allocating more buffer space to reduce delay and loss").
+//
+// At fixed workload (lambda-bar = 8.25):
+//   1. grow the buffer at fixed bandwidth — Poisson loss collapses
+//      geometrically (M/M/1/K), HAP loss barely moves, because congestion
+//      mountains dwarf any affordable buffer;
+//   2. grow the bandwidth at a fixed small buffer — HAP loss falls fast.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/hap.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/queue_sim.hpp"
+#include "traffic/poisson.hpp"
+
+namespace {
+
+double hap_loss(double mu, std::size_t buffer, double horizon, std::uint64_t seed,
+                double* delay_out = nullptr) {
+    using namespace hap::core;
+    hap::sim::RandomStream rng(seed);
+    HapSimOptions opts;
+    opts.horizon = horizon;
+    opts.warmup = 2e4;
+    opts.buffer_capacity = buffer;
+    const auto res = simulate_hap_queue(HapParams::paper_baseline(mu), rng, opts);
+    if (delay_out) *delay_out = res.delay.mean();
+    const double offered = static_cast<double>(res.arrivals + res.losses);
+    return offered > 0.0 ? static_cast<double>(res.losses) / offered : 0.0;
+}
+
+double poisson_loss(double mu, std::size_t buffer, double horizon, std::uint64_t seed) {
+    hap::traffic::PoissonSource src(8.25);
+    hap::sim::Exponential service(mu);
+    hap::sim::RandomStream rng(seed);
+    hap::queueing::QueueSimOptions opts;
+    opts.horizon = horizon;
+    opts.warmup = 2e4;
+    opts.buffer_capacity = buffer;
+    const auto res = simulate_queue(src, service, rng, opts);
+    const double offered = static_cast<double>(res.arrivals + res.losses);
+    return offered > 0.0 ? static_cast<double>(res.losses) / offered : 0.0;
+}
+
+}  // namespace
+
+int main() {
+    hap::bench::header("Ablation", "buffer vs bandwidth for loss (Section 6)");
+    hap::bench::paper_note(
+        "'allocating appropriate bandwidth is much more effective than "
+        "allocating more buffer space'");
+
+    const double horizon = 1.5e6 * hap::bench::scale();
+
+    std::printf("1) grow the BUFFER at fixed bandwidth mu'' = 15 (rho = 0.55):\n");
+    std::printf("%10s %14s %14s %16s\n", "buffer K", "HAP loss", "Poisson loss",
+                "M/M/1/K loss");
+    for (std::size_t k : {10ul, 30ul, 100ul, 300ul, 1000ul}) {
+        const double hl = hap_loss(15.0, k, horizon, 7000 + k);
+        const double pl = poisson_loss(15.0, k, horizon, 7500 + k);
+        const hap::queueing::Mm1K ref(8.25, 15.0, static_cast<unsigned>(k));
+        std::printf("%10zu %13.4f%% %13.4f%% %15.6f%%\n", k, 100.0 * hl, 100.0 * pl,
+                    100.0 * ref.loss_probability());
+    }
+
+    std::printf("\n2) grow the BANDWIDTH at a fixed small buffer K = 50:\n");
+    std::printf("%10s %8s %14s %14s %12s\n", "mu''", "rho", "HAP loss",
+                "Poisson loss", "HAP delay");
+    for (double mu : {12.0, 15.0, 20.0, 30.0, 45.0}) {
+        double delay = 0.0;
+        const double hl = hap_loss(mu, 50, horizon, 7900 + static_cast<std::uint64_t>(mu),
+                                   &delay);
+        const double pl = poisson_loss(mu, 50, horizon, 7950 + static_cast<std::uint64_t>(mu));
+        std::printf("%10.1f %8.3f %13.4f%% %13.4f%% %12.4f\n", mu, 8.25 / mu,
+                    100.0 * hl, 100.0 * pl, delay);
+    }
+
+    std::printf("\nReading: a 100x larger buffer barely dents the HAP loss rate\n"
+                "(the mountains are thousands of messages deep), while Poisson\n"
+                "loss vanishes exactly as M/M/1/K predicts; doubling bandwidth\n"
+                "wipes out HAP loss AND delay. Provision capacity, not memory.\n");
+    return 0;
+}

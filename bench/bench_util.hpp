@@ -1,0 +1,35 @@
+// Shared helpers for the reproduction benches: a run-length scale knob and a
+// tiny line-printing vocabulary so every bench reads the same way.
+//
+// Every bench accepts HAP_BENCH_SCALE (default 1): simulation horizons are
+// multiplied by it, so `HAP_BENCH_SCALE=10 ./fig18_busy_idle` approaches the
+// paper's multi-day runs while the default stays laptop-friendly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hap::bench {
+
+inline double scale() {
+    static const double s = [] {
+        const char* env = std::getenv("HAP_BENCH_SCALE");
+        if (!env) return 1.0;
+        const double v = std::atof(env);
+        return v > 0.0 ? v : 1.0;
+    }();
+    return s;
+}
+
+inline void header(const char* id, const char* what) {
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id, what);
+    std::printf("(HAP_BENCH_SCALE=%g; raise it for longer, paper-scale runs)\n",
+                scale());
+    std::printf("==============================================================\n");
+}
+
+inline void paper_note(const char* note) { std::printf("paper: %s\n\n", note); }
+
+}  // namespace hap::bench

@@ -1,0 +1,42 @@
+// Figure 11: average delay versus server capacity mu'' at fixed workload
+// lambda-bar = 8.25. Paper anchors: HAP only 15.22% above Poisson at
+// mu'' = 30, but ~200x at 64% utilization (mu'' ~ 13). Exact values come from
+// simulation (the paper's Solution 0 agrees with simulation within 5%).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/hap.hpp"
+#include "queueing/mm1.hpp"
+
+int main() {
+    using namespace hap::core;
+    hap::bench::header("Figure 11", "average delay vs server capacity, lambda-bar = 8.25");
+    hap::bench::paper_note("HAP/Poisson ratio: 1.15x at mu''=30, ~200x at rho=0.64");
+
+    std::printf("%8s %8s %12s %12s %12s %10s %10s\n", "mu''", "rho", "HAP sim T",
+                "Sol2 T", "M/M/1 T", "sim ratio", "sigma2");
+
+    for (double mu : {13.0, 14.0, 15.0, 17.0, 20.0, 25.0, 30.0, 40.0, 50.0}) {
+        const HapParams p = HapParams::paper_baseline(mu);
+        const hap::queueing::Mm1 mm1(8.25, mu);
+
+        hap::sim::RandomStream rng(1100 + static_cast<std::uint64_t>(mu));
+        HapSimOptions opts;
+        // Heavy loads fluctuate wildly (Fig. 13!): give them longer runs.
+        opts.horizon = (mu < 16.0 ? 6e6 : 2e6) * hap::bench::scale();
+        opts.warmup = 5e4;
+        const auto sim = simulate_hap_queue(p, rng, opts);
+
+        const Solution2 s2(p);
+        const auto q2 = s2.solve_queue(mu);
+
+        std::printf("%8.1f %8.3f %12.4f %12.4f %12.4f %9.1fx %10.3f\n", mu,
+                    8.25 / mu, sim.delay.mean(), q2.mean_delay, mm1.mean_delay(),
+                    sim.delay.mean() / mm1.mean_delay(), q2.sigma);
+    }
+
+    std::printf("\nShape check: the HAP/Poisson ratio is modest at low utilization\n"
+                "and explodes by 1-2 orders of magnitude as rho approaches 0.6+,\n"
+                "while Solution 2 (correlation-free) stays near the Poisson curve.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 13: fluctuation of the HAP simulation — the running average delay
+// refuses to settle, unlike Poisson, because the system compounds processes
+// at time scales from milliseconds (messages) to tens of minutes (users) and
+// occasionally falls into long congestion events.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hap.hpp"
+#include "queueing/queue_sim.hpp"
+#include "stats/online_stats.hpp"
+#include "traffic/poisson.hpp"
+
+namespace {
+
+// Running mean sampled at checkpoints.
+std::vector<double> running_means(const std::vector<double>& delays,
+                                  std::size_t checkpoints) {
+    std::vector<double> out;
+    hap::stats::OnlineStats acc;
+    const std::size_t step = std::max<std::size_t>(1, delays.size() / checkpoints);
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+        acc.add(delays[i]);
+        if ((i + 1) % step == 0) out.push_back(acc.mean());
+    }
+    return out;
+}
+
+double spread(const std::vector<double>& tail) {
+    double lo = tail.front(), hi = tail.front();
+    for (double v : tail) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    return (hi - lo) / ((hi + lo) / 2.0);
+}
+
+}  // namespace
+
+int main() {
+    using namespace hap::core;
+    hap::bench::header("Figure 13", "running-average delay fluctuation, HAP vs Poisson");
+    hap::bench::paper_note("HAP's running mean swings for the whole run; Poisson settles");
+
+    const double mu = 17.0;
+    const double horizon = 4e6 * hap::bench::scale();
+
+    HapSimOptions hopts;
+    hopts.horizon = horizon;
+    hopts.record_delays = true;
+    hap::sim::RandomStream rng(1300);
+    const auto hap_run = simulate_hap_queue(HapParams::paper_baseline(mu), rng, hopts);
+
+    hap::traffic::PoissonSource poisson(8.25);
+    hap::sim::Exponential service(mu);
+    hap::sim::RandomStream rng2(1301);
+    hap::queueing::QueueSimOptions popts;
+    popts.horizon = horizon;
+    popts.record_delays = true;
+    const auto poi_run = simulate_queue(poisson, service, rng2, popts);
+
+    const auto hap_means = running_means(hap_run.delays, 20);
+    const auto poi_means = running_means(poi_run.delays, 20);
+
+    std::printf("%12s %14s %14s\n", "progress", "HAP run-mean", "Poisson run-mean");
+    for (std::size_t i = 0; i < std::min(hap_means.size(), poi_means.size()); ++i)
+        std::printf("%11zu%% %14.4f %14.4f\n", (i + 1) * 5, hap_means[i], poi_means[i]);
+
+    // Fluctuation metric: relative spread of the running mean over the last
+    // half of the run (a converged estimator pins this near 0).
+    const std::vector<double> hap_tail(hap_means.begin() + hap_means.size() / 2,
+                                       hap_means.end());
+    const std::vector<double> poi_tail(poi_means.begin() + poi_means.size() / 2,
+                                       poi_means.end());
+    std::printf("\nrelative spread of the running mean over the last half:\n");
+    std::printf("  HAP     %.3f\n  Poisson %.3f\n", spread(hap_tail), spread(poi_tail));
+    std::printf("\nShape check: the HAP spread stays an order of magnitude above\n"
+                "Poisson's — the convergence difficulty the paper reports.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Figures 15-17: anatomy of the peak busy period. The paper's extreme
+// mountain held >17,000 messages for ~80 minutes and began with 13 users and
+// 49 applications on the books (averages: 5.5 and 27.5). We find the peak
+// congestion event of a long run and print the queue, user, and application
+// trajectories through it.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hap.hpp"
+
+namespace {
+
+struct Sample {
+    double t;
+    double queue, users, apps;
+};
+
+}  // namespace
+
+int main() {
+    using namespace hap::core;
+    hap::bench::header("Figures 15-17", "queue/users/apps through the peak busy period");
+    hap::bench::paper_note(
+        "peak mountain >17000 msgs, ~80 min; started at 13 users / 49 apps "
+        "vs averages 5.5 / 27.5");
+
+    const HapParams p = HapParams::paper_baseline(15.0);
+    hap::sim::RandomStream rng(1500);
+
+    const double horizon = 3e5 * 16.0 * hap::bench::scale();  // ~55 model-days
+    std::vector<Sample> series;
+    series.reserve(1 << 20);
+    double current_users = p.mean_users(), current_apps = p.mean_apps();
+    double last_keep = -1e9;
+    double peak_q = 0.0, peak_t = 0.0;
+
+    HapSimOptions opts;
+    opts.horizon = horizon;
+    opts.on_population_change = [&](double, std::uint64_t u, std::uint64_t a) {
+        current_users = static_cast<double>(u);
+        current_apps = static_cast<double>(a);
+    };
+    opts.on_queue_change = [&](double t, std::uint64_t n) {
+        const double q = static_cast<double>(n);
+        if (q > peak_q) {
+            peak_q = q;
+            peak_t = t;
+        }
+        if (t - last_keep >= 5.0) {  // 5 s resolution
+            series.push_back(Sample{t, q, current_users, current_apps});
+            last_keep = t;
+        }
+    };
+    const auto res = simulate_hap_queue(p, rng, opts);
+
+    std::printf("run: %.1f model-days, %llu messages\n", horizon / 86400.0,
+                static_cast<unsigned long long>(res.departures));
+    std::printf("averages: %.2f users, %.2f apps (paper 5.5 / 27.5)\n",
+                res.users.mean(), res.apps.mean());
+    std::printf("peak: %.0f messages at t = %.0f s\n\n", peak_q, peak_t);
+
+    // Busy-period boundaries around the peak.
+    auto it = std::lower_bound(series.begin(), series.end(), peak_t,
+                               [](const Sample& s, double t) { return s.t < t; });
+    auto lo = it, hi = it;
+    while (lo != series.begin() && lo->queue > 0.5) --lo;
+    while (hi + 1 != series.end() && hi->queue > 0.5) ++hi;
+    const double start = lo->t, stop = hi->t;
+    std::printf("peak busy period: [%.0f, %.0f] — %.1f minutes "
+                "(%.0f service times)\n",
+                start, stop, (stop - start) / 60.0, (stop - start) * 15.0);
+    std::printf("state at onset: %.0f users, %.0f apps\n\n", lo->users, lo->apps);
+
+    std::printf("trajectory through the event (Fig. 15/16/17 series):\n");
+    std::printf("%12s %10s %8s %8s\n", "t-start (s)", "queue", "users", "apps");
+    const double span = std::max(stop - start, 1.0);
+    double next_mark = 0.0;
+    for (auto s = lo; s <= hi && s != series.end(); ++s) {
+        if (s->t - start >= next_mark) {
+            std::printf("%12.0f %10.0f %8.0f %8.0f\n", s->t - start, s->queue,
+                        s->users, s->apps);
+            next_mark += span / 24.0;
+        }
+    }
+
+    std::printf("\nShape check: the event begins with user/application counts far\n"
+                "above their means — \"under a large number of users or\n"
+                "applications, the chance to have an upcoming long burst is\n"
+                "high\" — and drains only when the population recedes.\n");
+    return 0;
+}

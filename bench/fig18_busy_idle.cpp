@@ -1,0 +1,64 @@
+// Figure 18: busy/idle-period statistics, HAP versus Poisson, at
+// lambda-bar = 8.25 and mu'' = 15 (both ~55% busy). Paper anchors: means only
+// slightly higher for HAP, but variances 618x (busy), 15x (idle), 66x
+// (height) larger, and ~19% fewer mountains over the same horizon.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/hap.hpp"
+#include "queueing/queue_sim.hpp"
+#include "traffic/poisson.hpp"
+
+int main() {
+    using namespace hap::core;
+    hap::bench::header("Figure 18", "busy/idle periods: HAP vs Poisson, mu''=15");
+    hap::bench::paper_note(
+        "variance ratios ~618x busy, ~15x idle, ~66x height; ~19% fewer "
+        "mountains; both ~55% busy");
+
+    const double mu = 15.0;
+    const double horizon = 6e6 * hap::bench::scale();
+
+    hap::sim::RandomStream rng(1800);
+    HapSimOptions hopts;
+    hopts.horizon = horizon;
+    hopts.warmup = 5e4;
+    const auto hap_res = simulate_hap_queue(HapParams::paper_baseline(mu), rng, hopts);
+
+    hap::traffic::PoissonSource poisson(8.25);
+    hap::sim::Exponential service(mu);
+    hap::sim::RandomStream rng2(1801);
+    hap::queueing::QueueSimOptions popts;
+    popts.horizon = horizon;
+    popts.warmup = 5e4;
+    const auto poi_res = simulate_queue(poisson, service, rng2, popts);
+
+    const auto& hb = hap_res.busy;
+    const auto& pb = poi_res.busy;
+
+    std::printf("%-26s %14s %14s %10s\n", "statistic", "HAP", "Poisson", "ratio");
+    const auto row = [](const char* label, double h, double p) {
+        std::printf("%-26s %14.4g %14.4g %9.1fx\n", label, h, p, p > 0 ? h / p : 0.0);
+    };
+    row("mean busy period (s)", hb.busy_lengths().mean(), pb.busy_lengths().mean());
+    row("var busy period", hb.busy_lengths().variance(), pb.busy_lengths().variance());
+    row("mean idle period (s)", hb.idle_lengths().mean(), pb.idle_lengths().mean());
+    row("var idle period", hb.idle_lengths().variance(), pb.idle_lengths().variance());
+    row("mean height (msgs)", hb.heights().mean(), pb.heights().mean());
+    row("var height", hb.heights().variance(), pb.heights().variance());
+    row("max height (msgs)", hb.heights().max(), pb.heights().max());
+    row("max busy period (s)", hb.busy_lengths().max(), pb.busy_lengths().max());
+    std::printf("%-26s %14llu %14llu %9.2fx\n", "mountains (count)",
+                static_cast<unsigned long long>(hb.mountains()),
+                static_cast<unsigned long long>(pb.mountains()),
+                static_cast<double>(hb.mountains()) /
+                    static_cast<double>(pb.mountains()));
+    std::printf("%-26s %13.1f%% %13.1f%%\n", "busy fraction",
+                100.0 * hap_res.utilization, 100.0 * poi_res.utilization);
+
+    std::printf("\nShape check: busy fractions match (~55%%) and the means are\n"
+                "close, but HAP's variances run orders of magnitude higher and\n"
+                "it builds fewer, far bigger mountains — many medium-high\n"
+                "mountains with very long widths, as the paper puts it.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks (google-benchmark) for the hot paths: the DES calendar,
+// the CTMC HAP simulator, the steady-state solver, and Solution 2.
+#include <benchmark/benchmark.h>
+
+#include "core/hap.hpp"
+#include "markov/ctmc.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hap::core;
+
+void BM_EventCalendar(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        hap::sim::Simulator des;
+        std::uint64_t fired = 0;
+        hap::sim::RandomStream rng(1);
+        for (std::size_t i = 0; i < n; ++i)
+            des.schedule(rng.uniform(), [&fired] { ++fired; });
+        des.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventCalendar)->Arg(1000)->Arg(100000);
+
+void BM_HapSimulator(benchmark::State& state) {
+    const HapParams p = HapParams::paper_baseline(20.0);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        hap::sim::RandomStream rng(seed++);
+        HapSimOptions opts;
+        opts.horizon = static_cast<double>(state.range(0));
+        const auto res = simulate_hap_queue(p, rng, opts);
+        benchmark::DoNotOptimize(res.delay.mean());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0) * 17);  // ~17 events per model second
+}
+BENCHMARK(BM_HapSimulator)->Arg(1000)->Arg(10000);
+
+void BM_SteadyStateSolve(benchmark::State& state) {
+    const HapParams p = HapParams::paper_baseline(20.0);
+    const ChainBounds b = ChainBounds::defaults_for(p);
+    for (auto _ : state) {
+        const LumpedChain chain(p, b);
+        const auto res = chain.solve();
+        benchmark::DoNotOptimize(res.pi.data());
+    }
+}
+BENCHMARK(BM_SteadyStateSolve);
+
+void BM_Solution2FullAnalysis(benchmark::State& state) {
+    const HapParams p = HapParams::paper_baseline(20.0);
+    for (auto _ : state) {
+        const Solution2 sol(p);
+        const auto q = sol.solve_queue(20.0);
+        benchmark::DoNotOptimize(q.mean_delay);
+    }
+}
+BENCHMARK(BM_Solution2FullAnalysis);
+
+void BM_Solution2ClosedFormDensity(benchmark::State& state) {
+    const HapParams p = HapParams::paper_baseline(20.0);
+    const Solution2 sol(p);
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sol.interarrival_density(t));
+        t += 1e-4;
+        if (t > 1.0) t = 0.0;
+    }
+}
+BENCHMARK(BM_Solution2ClosedFormDensity);
+
+void BM_QbdSolve(benchmark::State& state) {
+    const HapParams p = HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0, 1, 10.0);
+    for (auto _ : state) {
+        const auto res = solve_solution3(p);
+        benchmark::DoNotOptimize(res.qbd.mean_delay);
+    }
+}
+BENCHMARK(BM_QbdSolve);
+
+}  // namespace

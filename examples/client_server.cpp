@@ -1,0 +1,59 @@
+// HAP-CS demo (paper Section 2.2): an "rlogin"-style command/response
+// exchange. A user's command is a request; the remote result is a response
+// that often triggers the next command. Shows how the request/response
+// feedback loop multiplies the offered load and stretches transaction times.
+#include <cstdio>
+
+#include "core/hap_cs.hpp"
+
+int main() {
+    using namespace hap::core;
+
+    // Interactive users: a = 4 users, each running ~1 rlogin session, each
+    // session issuing commands at 0.5/s.
+    HapParams base = HapParams::homogeneous(
+        /*lambda=*/0.02, /*mu=*/0.005, /*lambda'=*/0.01, /*mu'=*/0.01,
+        /*l=*/1, /*lambda''=*/0.5, /*m=*/1, /*mu''=*/1.0);
+
+    std::printf("rlogin scenario: %.1f users, %.1f sessions, %.2f commands/s\n\n",
+                base.mean_users(), base.mean_apps(), base.mean_message_rate());
+
+    std::printf("%-28s %9s %9s %9s %9s %9s\n", "exchange behavior", "chain",
+                "fwd dly", "rev dly", "trans", "fwd util");
+    const struct {
+        const char* label;
+        double ps, pr;
+    } cases[] = {
+        {"one-shot (ps=0)", 0.0, 0.0},
+        {"ack only (ps=1, pr=0)", 1.0, 0.0},
+        {"light dialog (.9, .5)", 0.9, 0.5},
+        {"chatty rlogin (.95, .8)", 0.95, 0.8},
+        {"bulk echo (.99, .9)", 0.99, 0.9},
+    };
+
+    for (const auto& c : cases) {
+        CsMessageBehavior b;
+        b.request_service_rate = 60.0;   // fast forward link
+        b.response_service_rate = 40.0;  // slower return path
+        b.p_response = c.ps;
+        b.p_next_request = c.pr;
+        const HapCsParams params = HapCsParams::uniform(base, b);
+
+        hap::sim::RandomStream rng(42);
+        HapCsOptions opts;
+        opts.horizon = 4e5;
+        opts.warmup = 2e4;
+        const auto res = simulate_hap_cs(params, rng, opts);
+        std::printf("%-28s %9.2f %9.4f %9.4f %9.3f %9.3f\n", c.label,
+                    res.chain_length.count() ? res.chain_length.mean() : 0.0,
+                    res.request_delay.mean(), res.response_delay.mean(),
+                    res.transaction_time.count() ? res.transaction_time.mean() : 0.0,
+                    res.forward_utilization);
+    }
+
+    std::printf("\nEach extra request/response round trip re-enters both queues:\n"
+                "transaction latency grows faster than linearly once the forward\n"
+                "queue utilization climbs — the protocol feedback the analytic\n"
+                "HAP model leaves to simulation (paper Section 7).\n");
+    return 0;
+}

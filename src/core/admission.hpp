@@ -1,0 +1,59 @@
+// Broadband network-control computations built on Solution 2 (paper
+// Section 6): HAP as "the computational base to estimate the admissible
+// workload for a given bandwidth (admission control), or the required
+// bandwidth for a given workload (bandwidth allocation)", plus the
+// user/application-bounding sweep of Section 5 (Fig. 20) and the admission
+// decision table the paper sketches for ATM interfaces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hap_params.hpp"
+
+namespace hap::core {
+
+struct AdmissionPoint {
+    std::size_t max_users = 0;  // 0 = unbounded
+    std::size_t max_apps = 0;
+    double mean_rate = 0.0;     // lambda-bar under the bounds
+    double sigma = 0.0;
+    double mean_delay = 0.0;
+};
+
+// Evaluate bounded variants of `base` at each (max_users, max_apps) pair;
+// a pair of zeros evaluates the unbounded HAP.
+std::vector<AdmissionPoint> admission_sweep(
+    const HapParams& base, double service_rate,
+    const std::vector<std::pair<std::size_t, std::size_t>>& bounds);
+
+// Bandwidth allocation: smallest service rate (messages/s) such that the
+// Solution-2 mean delay does not exceed `delay_budget`. Binary search over
+// mu''; throws std::invalid_argument on an infeasible budget.
+double required_bandwidth(const HapParams& params, double delay_budget);
+
+// Admission control: largest scale factor on the user arrival rate (i.e. on
+// the admitted workload lambda-bar, which is linear in lambda) such that the
+// Solution-2 mean delay stays within `delay_budget` at the given bandwidth.
+// Returns the admissible lambda-bar.
+double admissible_workload(const HapParams& params, double service_rate,
+                           double delay_budget);
+
+// Admission decision table: for each candidate user bound, the tightest
+// application bound (searched in steps of `app_step`) that meets the delay
+// budget, with the achieved delay — the table-lookup structure the paper
+// proposes for VC/VP admission at ATM interfaces.
+struct DecisionRow {
+    std::size_t max_users;
+    std::size_t max_apps;
+    double mean_rate;
+    double mean_delay;
+    bool feasible;
+};
+std::vector<DecisionRow> admission_decision_table(const HapParams& base,
+                                                  double service_rate,
+                                                  double delay_budget,
+                                                  std::size_t max_user_bound,
+                                                  std::size_t app_step = 5);
+
+}  // namespace hap::core

@@ -1,0 +1,16 @@
+// Umbrella header for the HAP library: include this to get the model, all
+// four analytic solutions, both simulators, the client-server variant, and
+// the admission-control toolkit.
+#pragma once
+
+#include "core/admission.hpp"
+#include "core/hap_chain.hpp"
+#include "core/hap_cs.hpp"
+#include "core/hap_fit.hpp"
+#include "core/hap_instance_sim.hpp"
+#include "core/hap_params.hpp"
+#include "core/hap_sim.hpp"
+#include "core/solution0.hpp"
+#include "core/solution1.hpp"
+#include "core/solution2.hpp"
+#include "core/solution3.hpp"

@@ -1,0 +1,259 @@
+#include "core/hap_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hap::core {
+
+namespace {
+
+std::size_t mass_cap(double mean, double spread, double margin) {
+    return static_cast<std::size_t>(
+        std::ceil(mean + spread * std::sqrt(mean + 1.0) + margin));
+}
+
+struct LumpedShape {
+    std::size_t x_lo, x_hi, y_hi;
+};
+
+LumpedShape lumped_shape(const HapParams& p, const ChainBounds& b) {
+    LumpedShape s{};
+    if (p.permanent_users > 0) {
+        s.x_lo = s.x_hi = p.permanent_users;
+    } else {
+        s.x_lo = 0;
+        s.x_hi = b.max_users;
+        if (p.max_users > 0 && p.max_users < s.x_hi) s.x_hi = p.max_users;
+        if (s.x_hi == 0) throw std::invalid_argument("LumpedChain: max_users bound is 0");
+    }
+    s.y_hi = b.max_apps_total;
+    if (p.max_apps > 0 && p.max_apps < s.y_hi) s.y_hi = p.max_apps;
+    if (s.y_hi == 0) throw std::invalid_argument("LumpedChain: max_apps bound is 0");
+    return s;
+}
+
+}  // namespace
+
+ChainBounds ChainBounds::defaults_for(const HapParams& p, double spread) {
+    ChainBounds b;
+    const double a = p.mean_users();
+    b.max_users = p.max_users > 0 ? p.max_users : mass_cap(a, spread, 5.0);
+
+    // Bound the app dimensions from the STATIONARY MARGINAL of the counts
+    // (mixed Poisson: Var[y] = E[y] + c^2 Var[x]), not from the worst
+    // conditional mean at x = x_max — joint tail states (x huge AND y huge)
+    // carry a product of small probabilities and only bloat the lattice.
+    const double var_x = p.permanent_users > 0 ? 0.0 : a;
+    double sum_b = 0.0;
+    double max_cap_per_type = 0.0;
+    for (const ApplicationType& app : p.apps) {
+        const double bi = app.mean_instances_per_user();
+        sum_b += bi;
+        const double mi = a * bi;
+        const double vi = mi + bi * bi * var_x;
+        max_cap_per_type =
+            std::max(max_cap_per_type, mi + spread * std::sqrt(vi + 1.0) + 5.0);
+    }
+    const double m_y = a * sum_b;
+    const double v_y = m_y + sum_b * sum_b * var_x;
+    b.max_apps_total =
+        p.max_apps > 0
+            ? p.max_apps
+            : static_cast<std::size_t>(std::ceil(m_y + spread * std::sqrt(v_y + 1.0) + 10.0));
+    b.max_apps_per_type = static_cast<std::size_t>(std::ceil(max_cap_per_type));
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// LumpedChain
+// ---------------------------------------------------------------------------
+
+LumpedChain::LumpedChain(const HapParams& params, const ChainBounds& bounds)
+    : x_lo_(lumped_shape(params, bounds).x_lo),
+      x_hi_(lumped_shape(params, bounds).x_hi),
+      y_hi_(lumped_shape(params, bounds).y_hi),
+      ctmc_((x_hi_ - x_lo_ + 1) * (y_hi_ + 1)) {
+    if (!params.homogeneous_types())
+        throw std::invalid_argument(
+            "LumpedChain: requires homogeneous application types (paper Fig. 7); "
+            "use GeneralChain otherwise");
+
+    const double lambda = params.user_arrival_rate;
+    const double mu = params.user_departure_rate;
+    const ApplicationType& app = params.apps.front();
+    const double l = static_cast<double>(params.num_app_types());
+    const double lambda1 = app.arrival_rate;
+    const double mu1 = app.departure_rate;
+    const double per_instance = app.total_message_rate();  // m * lambda''
+    const bool dynamic_users = params.permanent_users == 0;
+
+    arrival_rates_.assign(num_states(), 0.0);
+    for (std::size_t x = x_lo_; x <= x_hi_; ++x) {
+        for (std::size_t y = 0; y <= y_hi_; ++y) {
+            const std::size_t s = index(x, y);
+            arrival_rates_[s] = static_cast<double>(y) * per_instance;
+            if (dynamic_users) {
+                if (x < x_hi_) ctmc_.add_transition(s, index(x + 1, y), lambda);
+                if (x > 0) ctmc_.add_transition(s, index(x - 1, y), static_cast<double>(x) * mu);
+            }
+            if (y < y_hi_)
+                ctmc_.add_transition(s, index(x, y + 1), static_cast<double>(x) * l * lambda1);
+            if (y > 0) ctmc_.add_transition(s, index(x, y - 1), static_cast<double>(y) * mu1);
+        }
+    }
+    ctmc_.finalize();
+}
+
+std::size_t LumpedChain::index(std::size_t x, std::size_t y) const {
+    if (x < x_lo_ || x > x_hi_ || y > y_hi_)
+        throw std::out_of_range("LumpedChain::index");
+    return (x - x_lo_) * (y_hi_ + 1) + y;
+}
+
+std::size_t LumpedChain::users_of(std::size_t idx) const noexcept {
+    return x_lo_ + idx / (y_hi_ + 1);
+}
+
+std::size_t LumpedChain::apps_of(std::size_t idx) const noexcept {
+    return idx % (y_hi_ + 1);
+}
+
+numerics::Matrix LumpedChain::dense_generator() const {
+    return detail::dense_from_ctmc(ctmc_);
+}
+
+traffic::Mmpp LumpedChain::to_mmpp() const {
+    // Start at the mean-ish state: x = round(a), y = round(x * l * b).
+    return traffic::Mmpp(dense_generator(), arrival_rates_, 0);
+}
+
+markov::SolveResult LumpedChain::solve(const markov::SolveOptions& opts) const {
+    return markov::solve_steady_state(ctmc_, opts);
+}
+
+// ---------------------------------------------------------------------------
+// GeneralChain
+// ---------------------------------------------------------------------------
+
+GeneralChain::GeneralChain(const HapParams& params, const ChainBounds& bounds)
+    : x_lo_(params.permanent_users > 0 ? params.permanent_users : 0),
+      x_hi_(params.permanent_users > 0
+                ? params.permanent_users
+                : (params.max_users > 0 && params.max_users < bounds.max_users
+                       ? params.max_users
+                       : bounds.max_users)),
+      y_hi_(params.num_app_types(), bounds.max_apps_per_type),
+      ctmc_([&] {
+          if (bounds.max_apps_per_type == 0)
+              throw std::invalid_argument("GeneralChain: per-type app bound is 0");
+          std::size_t n = x_hi_ - x_lo_ + 1;
+          for (std::size_t i = 0; i < params.num_app_types(); ++i)
+              n *= bounds.max_apps_per_type + 1;
+          if (n > 50'000'000)
+              throw std::invalid_argument("GeneralChain: state space too large");
+          return n;
+      }()) {
+    if (x_hi_ == 0 && params.permanent_users == 0)
+        throw std::invalid_argument("GeneralChain: max_users bound is 0");
+    if (params.max_apps > 0)
+        throw std::invalid_argument(
+            "GeneralChain: a TOTAL application bound (max_apps) is only "
+            "representable on the lumped homogeneous chain; heterogeneous "
+            "lattices support per-type caps only");
+    build(params);
+}
+
+void GeneralChain::build(const HapParams& params) {
+    const std::size_t l = params.num_app_types();
+    // Flat index = (x - x_lo) * radix_[0] + sum_k y_k * radix_[k], row-major
+    // with x slowest and y_l fastest: radix_[l] = 1,
+    // radix_[k-1] = radix_[k] * (y_hi_[k-1] + 1).
+    radix_.assign(l + 1, 1);
+    for (std::size_t k = l; k >= 1; --k) radix_[k - 1] = radix_[k] * (y_hi_[k - 1] + 1);
+
+    const bool dynamic_users = params.permanent_users == 0;
+    const double lambda = params.user_arrival_rate;
+    const double mu = params.user_departure_rate;
+
+    arrival_rates_.assign(num_states(), 0.0);
+    std::vector<std::size_t> coords(l + 1, 0);  // [x, y_1..y_l]
+    coords[0] = x_lo_;
+    for (std::size_t s = 0; s < num_states(); ++s) {
+        const double x = static_cast<double>(coords[0]);
+        double rate = 0.0;
+        for (std::size_t i = 0; i < l; ++i)
+            rate += static_cast<double>(coords[i + 1]) * params.apps[i].total_message_rate();
+        arrival_rates_[s] = rate;
+
+        if (dynamic_users) {
+            if (coords[0] < x_hi_) ctmc_.add_transition(s, s + radix_[0], lambda);
+            if (coords[0] > 0) ctmc_.add_transition(s, s - radix_[0], x * mu);
+        }
+        for (std::size_t i = 0; i < l; ++i) {
+            const std::size_t yi = coords[i + 1];
+            if (yi < y_hi_[i])
+                ctmc_.add_transition(s, s + radix_[i + 1], x * params.apps[i].arrival_rate);
+            if (yi > 0)
+                ctmc_.add_transition(s, s - radix_[i + 1],
+                                     static_cast<double>(yi) * params.apps[i].departure_rate);
+        }
+
+        // Advance mixed-radix coordinates (x slowest).
+        for (std::size_t k = l + 1; k-- > 0;) {
+            const std::size_t cap = (k == 0) ? (x_hi_ - x_lo_) : y_hi_[k - 1];
+            std::size_t& c = coords[k];
+            const std::size_t base = (k == 0) ? x_lo_ : 0;
+            if (c - base < cap) {
+                ++c;
+                break;
+            }
+            c = base;
+        }
+    }
+    ctmc_.finalize();
+}
+
+std::size_t GeneralChain::index_of(const std::vector<std::size_t>& coords) const {
+    std::size_t idx = (coords[0] - x_lo_) * radix_[0];
+    for (std::size_t i = 1; i < coords.size(); ++i) idx += coords[i] * radix_[i];
+    return idx;
+}
+
+std::vector<std::size_t> GeneralChain::decode(std::size_t idx) const {
+    std::vector<std::size_t> coords(y_hi_.size() + 1, 0);
+    coords[0] = x_lo_ + idx / radix_[0];
+    idx %= radix_[0];
+    for (std::size_t i = 1; i <= y_hi_.size(); ++i) {
+        coords[i] = idx / radix_[i];
+        idx %= radix_[i];
+    }
+    return coords;
+}
+
+numerics::Matrix GeneralChain::dense_generator() const {
+    return detail::dense_from_ctmc(ctmc_);
+}
+
+traffic::Mmpp GeneralChain::to_mmpp() const {
+    return traffic::Mmpp(dense_generator(), arrival_rates_, 0);
+}
+
+markov::SolveResult GeneralChain::solve(const markov::SolveOptions& opts) const {
+    return markov::solve_steady_state(ctmc_, opts);
+}
+
+// ---------------------------------------------------------------------------
+
+numerics::Matrix detail::dense_from_ctmc(const markov::Ctmc& chain) {
+    const std::size_t n = chain.num_states();
+    if (n > 5000)
+        throw std::invalid_argument("dense_from_ctmc: state space too large for dense form");
+    numerics::Matrix q(n, n);
+    for (const markov::Transition& e : chain.edges()) {
+        q(e.from, e.to) += e.rate;
+        q(e.from, e.from) -= e.rate;
+    }
+    return q;
+}
+
+}  // namespace hap::core

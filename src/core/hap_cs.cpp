@@ -1,0 +1,221 @@
+#include "core/hap_cs.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace hap::core {
+
+HapCsParams HapCsParams::uniform(HapParams base, CsMessageBehavior all) {
+    HapCsParams p;
+    p.behavior.resize(base.apps.size());
+    for (std::size_t i = 0; i < base.apps.size(); ++i)
+        p.behavior[i].assign(base.apps[i].messages.size(), all);
+    p.hap = std::move(base);
+    p.validate();
+    return p;
+}
+
+double HapCsParams::mean_chain_length() const {
+    // Uniform-case closed form; heterogeneous chains mix types, so report
+    // the behavior of the first message type as the representative value.
+    const CsMessageBehavior& b = behavior.front().front();
+    const double loop = b.p_response * b.p_next_request;
+    return 1.0 / (1.0 - loop);
+}
+
+void HapCsParams::validate() const {
+    hap.validate();
+    if (behavior.size() != hap.apps.size())
+        throw std::invalid_argument("HapCsParams: behavior shape mismatch");
+    for (std::size_t i = 0; i < behavior.size(); ++i) {
+        if (behavior[i].size() != hap.apps[i].messages.size())
+            throw std::invalid_argument("HapCsParams: behavior shape mismatch");
+        for (const CsMessageBehavior& b : behavior[i]) {
+            if (b.request_service_rate <= 0.0 || b.response_service_rate <= 0.0)
+                throw std::invalid_argument("HapCsParams: service rates must be positive");
+            if (b.p_response < 0.0 || b.p_response > 1.0 || b.p_next_request < 0.0 ||
+                b.p_next_request > 1.0)
+                throw std::invalid_argument("HapCsParams: probabilities outside [0,1]");
+            if (b.p_response * b.p_next_request >= 1.0)
+                throw std::invalid_argument("HapCsParams: ps*pr must be < 1");
+        }
+    }
+}
+
+namespace {
+
+struct CsMsg {
+    double arrival;  // into the current queue
+    double origin;   // first request of the transaction
+    std::uint32_t i, j;
+    std::uint32_t hops;  // requests completed so far in this chain
+};
+
+}  // namespace
+
+HapCsResult simulate_hap_cs(const HapCsParams& params, sim::RandomStream& rng,
+                            const HapCsOptions& opts) {
+    params.validate();
+    const HapParams& hp = params.hap;
+    const std::size_t l = hp.num_app_types();
+    const bool dynamic_users = hp.permanent_users == 0;
+
+    HapCsResult res;
+    res.forward_number = stats::TimeWeightedStats(opts.warmup, 0.0);
+    res.reverse_number = stats::TimeWeightedStats(opts.warmup, 0.0);
+
+    std::deque<CsMsg> fwd, rev;
+    double now = 0.0;
+    std::uint64_t users = hp.permanent_users > 0
+                              ? hp.permanent_users
+                              : static_cast<std::uint64_t>(hp.mean_users() + 0.5);
+    std::vector<std::uint64_t> apps(l, 0);
+    for (std::size_t i = 0; i < l; ++i)
+        apps[i] = static_cast<std::uint64_t>(
+            static_cast<double>(users) * hp.apps[i].arrival_rate /
+                hp.apps[i].departure_rate + 0.5);
+
+    double fwd_busy_time = 0.0;
+    double rev_busy_time = 0.0;
+
+    const auto end_transaction = [&](const CsMsg& m) {
+        if (m.origin < opts.warmup) return;
+        res.transaction_time.add(now - m.origin);
+        res.chain_length.add(static_cast<double>(m.hops));
+        ++res.transactions;
+    };
+
+    while (true) {
+        const double xd = static_cast<double>(users);
+        double total = 0.0;
+        const double r_user_arr = dynamic_users ? hp.user_arrival_rate : 0.0;
+        const double r_user_dep = dynamic_users ? xd * hp.user_departure_rate : 0.0;
+        total += r_user_arr + r_user_dep;
+        double app_arr_total = 0.0, app_dep_total = 0.0, gen_total = 0.0;
+        for (std::size_t i = 0; i < l; ++i) {
+            const double yd = static_cast<double>(apps[i]);
+            app_arr_total += xd * hp.apps[i].arrival_rate;
+            app_dep_total += yd * hp.apps[i].departure_rate;
+            gen_total += yd * hp.apps[i].total_message_rate();
+        }
+        total += app_arr_total + app_dep_total + gen_total;
+        const double r_fwd =
+            fwd.empty() ? 0.0
+                        : params.behavior[fwd.front().i][fwd.front().j].request_service_rate;
+        const double r_rev =
+            rev.empty() ? 0.0
+                        : params.behavior[rev.front().i][rev.front().j].response_service_rate;
+        total += r_fwd + r_rev;
+        if (total <= 0.0) break;
+
+        const double dt = rng.exponential(total);
+        if (now >= opts.warmup) {
+            if (!fwd.empty()) fwd_busy_time += dt;
+            if (!rev.empty()) rev_busy_time += dt;
+        }
+        now += dt;
+        if (now >= opts.horizon) break;
+
+        double u = rng.uniform() * total;
+        if (u < r_fwd) {
+            // Request served.
+            CsMsg m = fwd.front();
+            fwd.pop_front();
+            if (m.arrival >= opts.warmup) {
+                res.request_delay.add(now - m.arrival);
+                ++res.requests;
+            }
+            ++m.hops;
+            const CsMessageBehavior& b = params.behavior[m.i][m.j];
+            if (rng.bernoulli(b.p_response)) {
+                m.arrival = now;
+                rev.push_back(m);
+            } else {
+                end_transaction(m);
+            }
+            if (now >= opts.warmup) {
+                res.forward_number.update(now, static_cast<double>(fwd.size()));
+                res.reverse_number.update(now, static_cast<double>(rev.size()));
+            }
+            continue;
+        }
+        u -= r_fwd;
+        if (u < r_rev) {
+            // Response served.
+            CsMsg m = rev.front();
+            rev.pop_front();
+            if (m.arrival >= opts.warmup) {
+                res.response_delay.add(now - m.arrival);
+                ++res.responses;
+            }
+            const CsMessageBehavior& b = params.behavior[m.i][m.j];
+            if (rng.bernoulli(b.p_next_request)) {
+                m.arrival = now;
+                fwd.push_back(m);
+            } else {
+                end_transaction(m);
+            }
+            if (now >= opts.warmup) {
+                res.forward_number.update(now, static_cast<double>(fwd.size()));
+                res.reverse_number.update(now, static_cast<double>(rev.size()));
+            }
+            continue;
+        }
+        u -= r_rev;
+        if (u < r_user_arr) {
+            ++users;
+            continue;
+        }
+        u -= r_user_arr;
+        if (u < r_user_dep) {
+            --users;
+            continue;
+        }
+        u -= r_user_dep;
+        bool handled = false;
+        for (std::size_t i = 0; i < l && !handled; ++i) {
+            const double arr = xd * hp.apps[i].arrival_rate;
+            if (u < arr) {
+                ++apps[i];
+                handled = true;
+                break;
+            }
+            u -= arr;
+            const double dep = static_cast<double>(apps[i]) * hp.apps[i].departure_rate;
+            if (u < dep) {
+                --apps[i];
+                handled = true;
+                break;
+            }
+            u -= dep;
+            const double gen = static_cast<double>(apps[i]) * hp.apps[i].total_message_rate();
+            if (u < gen) {
+                // New original request: pick message type j within type i.
+                double v = rng.uniform() * hp.apps[i].total_message_rate();
+                std::uint32_t j = 0;
+                while (j + 1 < hp.apps[i].messages.size() &&
+                       v >= hp.apps[i].messages[j].arrival_rate) {
+                    v -= hp.apps[i].messages[j].arrival_rate;
+                    ++j;
+                }
+                fwd.push_back(CsMsg{now, now, static_cast<std::uint32_t>(i), j, 0});
+                if (now >= opts.warmup)
+                    res.forward_number.update(now, static_cast<double>(fwd.size()));
+                handled = true;
+                break;
+            }
+            u -= gen;
+        }
+    }
+
+    res.forward_number.finish(opts.horizon);
+    res.reverse_number.finish(opts.horizon);
+    const double observed = opts.horizon - opts.warmup;
+    if (observed > 0.0) {
+        res.forward_utilization = fwd_busy_time / observed;
+        res.reverse_utilization = rev_busy_time / observed;
+    }
+    return res;
+}
+
+}  // namespace hap::core

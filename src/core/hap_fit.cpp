@@ -1,0 +1,53 @@
+#include "core/hap_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hap::core {
+
+HapParams fit_hap_two_level(double mean_rate, double idc, double burst_rate) {
+    if (mean_rate <= 0.0 || burst_rate <= 0.0)
+        throw std::invalid_argument("fit_hap_two_level: rates must be positive");
+    if (idc <= 1.0)
+        throw std::invalid_argument("fit_hap_two_level: idc must exceed 1");
+    const double mu_call = 2.0 * burst_rate / (idc - 1.0);
+    const double calls = mean_rate / burst_rate;  // mean concurrent calls
+    return HapParams::two_level(/*call_arrival_rate=*/calls * mu_call,
+                                /*call_departure_rate=*/mu_call,
+                                /*message_rate=*/burst_rate,
+                                /*message_service_rate=*/1.0);
+}
+
+ThreeLevelFit fit_hap_three_level(double mean_rate, double idc, double burst_rate,
+                                  std::size_t l, std::size_t m,
+                                  double apps_per_user, double user_share) {
+    if (mean_rate <= 0.0 || burst_rate <= 0.0 || apps_per_user <= 0.0)
+        throw std::invalid_argument("fit_hap_three_level: rates must be positive");
+    if (idc <= 1.0)
+        throw std::invalid_argument("fit_hap_three_level: idc must exceed 1");
+    if (l == 0 || m == 0)
+        throw std::invalid_argument("fit_hap_three_level: need at least one type");
+    if (user_share <= 0.0 || user_share >= 1.0)
+        throw std::invalid_argument("fit_hap_three_level: user_share in (0,1)");
+
+    // Per-instance message rate Lambda = m * lambda''; the excess dispersion
+    // splits as  idc - 1 = 2 Lambda / mu_c  +  2 Lambda c / mu_u.
+    const double lambda2 = burst_rate / static_cast<double>(m);
+    const double excess = idc - 1.0;
+    const double app_excess = (1.0 - user_share) * excess;
+    const double user_excess = user_share * excess;
+    const double mu_c = 2.0 * burst_rate / app_excess;
+    const double mu_u = 2.0 * burst_rate * apps_per_user / user_excess;
+
+    // Population sizes from the rate: lambda-bar = a * c * Lambda.
+    const double a = mean_rate / (apps_per_user * burst_rate);
+    const double b_per_type = apps_per_user / static_cast<double>(l);
+
+    ThreeLevelFit fit{a, HapParams::homogeneous(
+                             /*lambda=*/a * mu_u, /*mu=*/mu_u,
+                             /*lambda1=*/b_per_type * mu_c, /*mu1=*/mu_c, l,
+                             lambda2, m, /*mu2=*/1.0)};
+    return fit;
+}
+
+}  // namespace hap::core

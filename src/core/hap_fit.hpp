@@ -1,0 +1,41 @@
+// Fitting a HAP to stream statistics — the practical inverse of the model:
+// given a measured (or target) mean rate and burstiness, produce HapParams
+// that reproduce them. This implements the "dimensioning HAP" direction the
+// paper lists as future work (Section 7).
+#pragma once
+
+#include "core/hap_params.hpp"
+
+namespace hap::core {
+
+// Fit a 2-level HAP (M/M/inf population of calls, each a Poisson burst of
+// `burst_rate` messages/s). For this model the asymptotic index of dispersion
+// is IDC = 1 + 2*burst_rate/mu_call, independent of the call population, so
+// the fit is closed-form:
+//   mu_call = 2 burst_rate / (idc - 1),   calls = mean_rate / burst_rate,
+//   call_arrival = calls * mu_call.
+// Requires idc > 1. The message service rate of the returned HapParams is a
+// placeholder (1.0); set it to the system under study before queueing
+// analysis.
+HapParams fit_hap_two_level(double mean_rate, double idc, double burst_rate);
+
+// Fit a 3-level homogeneous HAP with l application types x m message types.
+// The extra (user) level splits the burstiness across two time constants:
+// user churn mu_u is slower than call churn mu_c by `separation` (>= 2). The
+// asymptotic IDC of the 3-level homogeneous HAP with per-instance rate
+// Lambda, apps-per-user c and users a is
+//   IDC = 1 + 2*Lambda/mu_c + 2*Lambda*c/mu_u,
+// (spectral decomposition of the rate autocovariance: the y-fluctuations
+// carry Lambda per instance at time constant 1/mu_c; the x-fluctuations
+// modulate c instances each at 1/mu_u). Given idc, Lambda and the split
+// fraction `user_share` of the excess dispersion assigned to the user level,
+// the fit is again closed-form.
+struct ThreeLevelFit {
+    double mean_users;  // a
+    HapParams params;
+};
+ThreeLevelFit fit_hap_three_level(double mean_rate, double idc, double burst_rate,
+                                  std::size_t l, std::size_t m,
+                                  double apps_per_user, double user_share = 0.5);
+
+}  // namespace hap::core

@@ -1,0 +1,270 @@
+#include "core/hap_instance_sim.hpp"
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+
+namespace hap::core {
+
+namespace {
+
+using sim::DistributionPtr;
+using sim::EventId;
+
+struct ResolvedDists {
+    DistributionPtr user_inter;
+    DistributionPtr user_life;
+    std::vector<DistributionPtr> app_inter;
+    std::vector<DistributionPtr> app_life;
+    std::vector<std::vector<DistributionPtr>> msg_inter;
+    std::vector<std::vector<DistributionPtr>> msg_service;
+};
+
+ResolvedDists resolve(const HapParams& p, const HapDistributions& d) {
+    ResolvedDists r;
+    const auto pick = [](const DistributionPtr& given, double rate) {
+        return given ? given : sim::exponential(rate);
+    };
+    r.user_inter = p.permanent_users == 0
+                       ? pick(d.user_interarrival, p.user_arrival_rate)
+                       : nullptr;
+    r.user_life = p.permanent_users == 0
+                      ? pick(d.user_lifetime, p.user_departure_rate)
+                      : nullptr;
+    const std::size_t l = p.num_app_types();
+    r.app_inter.resize(l);
+    r.app_life.resize(l);
+    r.msg_inter.resize(l);
+    r.msg_service.resize(l);
+    for (std::size_t i = 0; i < l; ++i) {
+        const ApplicationType& a = p.apps[i];
+        r.app_inter[i] =
+            pick(i < d.app_interarrival.size() ? d.app_interarrival[i] : nullptr,
+                 a.arrival_rate);
+        r.app_life[i] = pick(i < d.app_lifetime.size() ? d.app_lifetime[i] : nullptr,
+                             a.departure_rate);
+        const std::size_t m = a.messages.size();
+        r.msg_inter[i].resize(m);
+        r.msg_service[i].resize(m);
+        for (std::size_t j = 0; j < m; ++j) {
+            const auto& given_i = i < d.message_interarrival.size() &&
+                                          j < d.message_interarrival[i].size()
+                                      ? d.message_interarrival[i][j]
+                                      : nullptr;
+            const auto& given_s = i < d.message_service.size() &&
+                                          j < d.message_service[i].size()
+                                      ? d.message_service[i][j]
+                                      : nullptr;
+            r.msg_inter[i][j] = pick(given_i, a.messages[j].arrival_rate);
+            r.msg_service[i][j] = pick(given_s, a.messages[j].service_rate);
+        }
+    }
+    return r;
+}
+
+struct QueuedMsg {
+    double arrival;
+    std::uint32_t app_type;
+    std::uint32_t msg_type;
+};
+
+// The simulation world; all entity callbacks close over `this`.
+struct World {
+    const HapParams& p;
+    const HapSimOptions& opts;
+    sim::RandomStream& rng;
+    ResolvedDists dists;
+    sim::Simulator des;
+    HapSimResult res;
+
+    struct AppInstance {
+        std::uint32_t type;
+        std::vector<EventId> emitters;
+        EventId death = sim::kInvalidEvent;
+    };
+    struct User {
+        std::vector<EventId> spawners;  // one recurring spawn event per type
+        EventId departure = sim::kInvalidEvent;
+    };
+
+    std::unordered_map<std::uint64_t, User> live_users;
+    std::unordered_map<std::uint64_t, AppInstance> live_apps;
+    std::uint64_t next_user_id = 1;
+    std::uint64_t next_app_id = 1;
+    std::uint64_t total_apps = 0;
+    std::deque<QueuedMsg> queue;
+
+    World(const HapParams& params, const HapSimOptions& o, sim::RandomStream& r,
+          const HapDistributions& d)
+        : p(params), opts(o), rng(r), dists(resolve(params, d)) {
+        res.horizon = o.horizon;
+        res.number = stats::TimeWeightedStats(o.warmup, 0.0);
+        res.users = stats::TimeWeightedStats(o.warmup, 0.0);
+        res.apps = stats::TimeWeightedStats(o.warmup, 0.0);
+        res.busy = stats::BusyPeriodTracker(o.warmup);
+        if (o.per_type_stats) res.delay_by_app_type.resize(p.num_app_types());
+    }
+
+    void queue_changed() {
+        const double now = des.now();
+        if (now < opts.warmup) return;
+        res.number.update(now, static_cast<double>(queue.size()));
+        res.busy.observe(now, queue.size());
+        if (opts.on_queue_change) opts.on_queue_change(now, queue.size());
+    }
+
+    void population_changed() {
+        const double now = des.now();
+        if (now < opts.warmup) return;
+        res.users.update(now, static_cast<double>(live_users.size()));
+        res.apps.update(now, static_cast<double>(total_apps));
+        if (opts.on_population_change)
+            opts.on_population_change(now, live_users.size(), total_apps);
+    }
+
+    // ---- message level -----------------------------------------------------
+
+    void enqueue_message(std::uint32_t i, std::uint32_t j) {
+        queue.push_back(QueuedMsg{des.now(), i, j});
+        if (des.now() >= opts.warmup) {
+            ++res.arrivals;
+            if (opts.record_arrival_times) res.arrival_times.push_back(des.now());
+        }
+        if (queue.size() == 1) start_service();
+        queue_changed();
+    }
+
+    void start_service() {
+        const QueuedMsg& front = queue.front();
+        const double s =
+            dists.msg_service[front.app_type][front.msg_type]->sample(rng);
+        des.schedule(s, [this] { complete_service(); });
+    }
+
+    void complete_service() {
+        const QueuedMsg msg = queue.front();
+        queue.pop_front();
+        if (msg.arrival >= opts.warmup) {
+            const double sojourn = des.now() - msg.arrival;
+            res.delay.add(sojourn);
+            if (opts.record_delays) res.delays.push_back(sojourn);
+            if (opts.per_type_stats) res.delay_by_app_type[msg.app_type].add(sojourn);
+            ++res.departures;
+        }
+        if (!queue.empty()) start_service();
+        queue_changed();
+    }
+
+    // ---- application level ---------------------------------------------------
+
+    void spawn_app(std::uint32_t type) {
+        if (p.max_apps > 0 && total_apps >= p.max_apps) return;  // blocked
+        const std::uint64_t id = next_app_id++;
+        AppInstance& app = live_apps[id];
+        app.type = type;
+        ++total_apps;
+        const double life = dists.app_life[type]->sample(rng);
+        app.death = des.schedule(life, [this, id] { kill_app(id); });
+        const auto m = static_cast<std::uint32_t>(p.apps[type].messages.size());
+        app.emitters.resize(m, sim::kInvalidEvent);
+        for (std::uint32_t j = 0; j < m; ++j) schedule_emit(id, j);
+        population_changed();
+    }
+
+    void schedule_emit(std::uint64_t app_id, std::uint32_t j) {
+        auto it = live_apps.find(app_id);
+        if (it == live_apps.end()) return;
+        AppInstance& app = it->second;
+        const double gap = dists.msg_inter[app.type][j]->sample(rng);
+        app.emitters[j] = des.schedule(gap, [this, app_id, j] {
+            auto jt = live_apps.find(app_id);
+            if (jt == live_apps.end()) return;
+            enqueue_message(jt->second.type, j);
+            schedule_emit(app_id, j);
+        });
+    }
+
+    void kill_app(std::uint64_t id) {
+        auto it = live_apps.find(id);
+        if (it == live_apps.end()) return;
+        for (EventId e : it->second.emitters) des.cancel(e);
+        live_apps.erase(it);
+        --total_apps;
+        population_changed();
+    }
+
+    // ---- user level ------------------------------------------------------------
+
+    void schedule_user_arrival() {
+        const double gap = dists.user_inter->sample(rng);
+        des.schedule(gap, [this] {
+            if (p.max_users == 0 || live_users.size() < p.max_users) add_user();
+            schedule_user_arrival();
+        });
+    }
+
+    void add_user(bool permanent = false) {
+        const std::uint64_t id = next_user_id++;
+        User& u = live_users[id];
+        if (!permanent) {
+            const double life = dists.user_life->sample(rng);
+            u.departure = des.schedule(life, [this, id] { remove_user(id); });
+        }
+        const auto l = static_cast<std::uint32_t>(p.num_app_types());
+        u.spawners.resize(l, sim::kInvalidEvent);
+        for (std::uint32_t i = 0; i < l; ++i) schedule_spawn(id, i);
+        population_changed();
+    }
+
+    void schedule_spawn(std::uint64_t user_id, std::uint32_t i) {
+        auto it = live_users.find(user_id);
+        if (it == live_users.end()) return;
+        const double gap = dists.app_inter[i]->sample(rng);
+        it->second.spawners[i] = des.schedule(gap, [this, user_id, i] {
+            auto jt = live_users.find(user_id);
+            if (jt == live_users.end()) return;
+            spawn_app(i);  // the instance outlives its parent (paper Sec. 2.1)
+            schedule_spawn(user_id, i);
+        });
+    }
+
+    void remove_user(std::uint64_t id) {
+        auto it = live_users.find(id);
+        if (it == live_users.end()) return;
+        // Pending spawns die with the user; already-spawned applications
+        // keep running (background-process semantics).
+        for (EventId e : it->second.spawners) des.cancel(e);
+        live_users.erase(it);
+        population_changed();
+    }
+
+    HapSimResult run() {
+        if (p.permanent_users > 0) {
+            for (std::size_t k = 0; k < p.permanent_users; ++k) add_user(true);
+        } else {
+            schedule_user_arrival();
+        }
+        des.run_until(opts.horizon);
+        res.number.finish(opts.horizon);
+        res.users.finish(opts.horizon);
+        res.apps.finish(opts.horizon);
+        res.busy.finish(opts.horizon);
+        res.utilization = res.busy.busy_fraction();
+        return std::move(res);
+    }
+};
+
+}  // namespace
+
+HapSimResult simulate_hap_queue_instances(const HapParams& params,
+                                          sim::RandomStream& rng,
+                                          const HapSimOptions& opts,
+                                          const HapDistributions& dists) {
+    params.validate();
+    World world(params, opts, rng, dists);
+    return world.run();
+}
+
+}  // namespace hap::core

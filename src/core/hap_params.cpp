@@ -1,0 +1,145 @@
+#include "core/hap_params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hap::core {
+
+double ApplicationType::total_message_rate() const noexcept {
+    double total = 0.0;
+    for (const MessageType& m : messages) total += m.arrival_rate;
+    return total;
+}
+
+double ApplicationType::mean_instances_per_user() const noexcept {
+    return departure_rate > 0.0 ? arrival_rate / departure_rate : 0.0;
+}
+
+HapParams HapParams::homogeneous(double lambda, double mu, double lambda1,
+                                 double mu1, std::size_t l, double lambda2,
+                                 std::size_t m, double mu2) {
+    HapParams p;
+    p.user_arrival_rate = lambda;
+    p.user_departure_rate = mu;
+    ApplicationType app;
+    app.arrival_rate = lambda1;
+    app.departure_rate = mu1;
+    app.messages.assign(m, MessageType{lambda2, mu2, ""});
+    p.apps.assign(l, app);
+    p.validate();
+    return p;
+}
+
+HapParams HapParams::paper_baseline(double message_service_rate) {
+    return homogeneous(0.0055, 0.001, 0.01, 0.01, 5, 0.1, 3, message_service_rate);
+}
+
+HapParams HapParams::two_level(double call_arrival_rate, double call_departure_rate,
+                               double message_rate, double message_service_rate) {
+    HapParams p;
+    p.permanent_users = 1;
+    ApplicationType call;
+    call.arrival_rate = call_arrival_rate;
+    call.departure_rate = call_departure_rate;
+    call.name = "call";
+    call.messages.push_back(MessageType{message_rate, message_service_rate, "burst"});
+    p.apps.push_back(std::move(call));
+    p.validate();
+    return p;
+}
+
+double HapParams::mean_users() const noexcept {
+    double m = static_cast<double>(permanent_users);
+    if (user_departure_rate > 0.0) m += user_arrival_rate / user_departure_rate;
+    return m;
+}
+
+double HapParams::mean_apps() const noexcept {
+    double per_user = 0.0;
+    for (const ApplicationType& a : apps) per_user += a.mean_instances_per_user();
+    return mean_users() * per_user;
+}
+
+double HapParams::mean_message_rate() const noexcept {
+    double per_user = 0.0;
+    for (const ApplicationType& a : apps)
+        per_user += a.mean_instances_per_user() * a.total_message_rate();
+    return mean_users() * per_user;
+}
+
+double HapParams::mean_service_rate() const noexcept {
+    // Weighted harmonic mean is the faithful aggregate (mean service TIME is
+    // the rate-weighted mean of 1/mu_ij); equals mu'' in the uniform case.
+    double weight = 0.0;
+    double time = 0.0;
+    for (const ApplicationType& a : apps) {
+        const double share = a.mean_instances_per_user();
+        for (const MessageType& m : a.messages) {
+            weight += share * m.arrival_rate;
+            time += share * m.arrival_rate / m.service_rate;
+        }
+    }
+    return time > 0.0 ? weight / time : 0.0;
+}
+
+double HapParams::offered_load() const noexcept {
+    const double mu = mean_service_rate();
+    return mu > 0.0 ? mean_message_rate() / mu : 0.0;
+}
+
+bool HapParams::homogeneous_types() const noexcept {
+    if (apps.empty()) return false;
+    const ApplicationType& first = apps.front();
+    const std::size_t m = first.messages.size();
+    for (const ApplicationType& a : apps) {
+        if (a.arrival_rate != first.arrival_rate ||
+            a.departure_rate != first.departure_rate || a.messages.size() != m)
+            return false;
+        for (const MessageType& msg : a.messages) {
+            if (msg.arrival_rate != first.messages.front().arrival_rate ||
+                msg.service_rate != first.messages.front().service_rate)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool HapParams::uniform_service() const noexcept {
+    double mu = -1.0;
+    for (const ApplicationType& a : apps) {
+        for (const MessageType& m : a.messages) {
+            if (mu < 0.0) mu = m.service_rate;
+            if (m.service_rate != mu) return false;
+        }
+    }
+    return mu > 0.0;
+}
+
+void HapParams::validate() const {
+    const bool dynamic_users = user_arrival_rate > 0.0 || user_departure_rate > 0.0;
+    if (dynamic_users) {
+        if (user_arrival_rate <= 0.0 || user_departure_rate <= 0.0)
+            throw std::invalid_argument("HapParams: user rates must both be positive");
+        if (permanent_users > 0)
+            throw std::invalid_argument(
+                "HapParams: permanent users cannot be mixed with a dynamic user level");
+    } else if (permanent_users == 0) {
+        throw std::invalid_argument(
+            "HapParams: need a dynamic user level or permanent users");
+    }
+    if (apps.empty()) throw std::invalid_argument("HapParams: no application types");
+    for (const ApplicationType& a : apps) {
+        if (a.arrival_rate <= 0.0 || a.departure_rate <= 0.0)
+            throw std::invalid_argument("HapParams: application rates must be positive");
+        if (a.messages.empty())
+            throw std::invalid_argument("HapParams: application type with no message types");
+        for (const MessageType& m : a.messages) {
+            if (m.arrival_rate <= 0.0 || m.service_rate <= 0.0)
+                throw std::invalid_argument("HapParams: message rates must be positive");
+        }
+    }
+    if (max_users > 0 && permanent_users > max_users)
+        throw std::invalid_argument("HapParams: permanent users exceed max_users");
+}
+
+}  // namespace hap::core

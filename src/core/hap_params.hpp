@@ -1,0 +1,106 @@
+// Parameterization of the Hierarchical Arrival Process (paper Section 2).
+//
+// A HAP describes message arrivals at a network node modulated by a
+// user/application/message hierarchy:
+//   - users arrive Poisson(user_arrival_rate) and stay Exp(user_departure_rate)
+//     (an M/M/inf node; "rate" here is the reciprocal-mean convention of the
+//     paper: each parameter is the rate of its exponential distribution);
+//   - while present, a user spawns applications of type i at rate
+//     app[i].arrival_rate; an instance lives Exp(app[i].departure_rate) and
+//     survives its parent's departure (paper: background processes);
+//   - an active application instance of type i emits messages of type j as a
+//     Poisson stream of rate app[i].message[j].arrival_rate, each requiring
+//     Exp(app[i].message[j].service_rate) service at the bottleneck queue.
+//
+// Optional admission bounds (Section 5, Fig. 20) cap the number of concurrent
+// users and total application instances; arrivals beyond a bound are blocked
+// and lost (Erlang-loss style).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hap::core {
+
+struct MessageType {
+    double arrival_rate = 0.0;  // lambda_ij: per app instance, while active
+    double service_rate = 0.0;  // mu_ij: at the bottleneck server
+    std::string name;           // optional label ("interactive", "video", ...)
+};
+
+struct ApplicationType {
+    double arrival_rate = 0.0;    // lambda_i: per present user
+    double departure_rate = 0.0;  // mu_i: instance lifetime rate
+    std::vector<MessageType> messages;
+    std::string name;
+
+    // Lambda_i = sum_j lambda_ij: total message rate of one active instance.
+    double total_message_rate() const noexcept;
+    // b_i = lambda_i / mu_i: mean instances per present user.
+    double mean_instances_per_user() const noexcept;
+};
+
+struct HapParams {
+    double user_arrival_rate = 0.0;    // lambda
+    double user_departure_rate = 0.0;  // mu
+    std::vector<ApplicationType> apps;
+
+    // Admission bounds; 0 means unbounded. `max_apps` caps the TOTAL number
+    // of application instances across types and users, as in the paper's
+    // Fig. 20 experiment (bounds 12 users / 60 applications).
+    std::size_t max_users = 0;
+    std::size_t max_apps = 0;
+
+    // --- factories ---------------------------------------------------------
+
+    // The paper's homogeneous simplification: l identical application types
+    // (lambda', mu') each with m identical message types (lambda'', mu'').
+    static HapParams homogeneous(double lambda, double mu, double lambda1,
+                                 double mu1, std::size_t l, double lambda2,
+                                 std::size_t m, double mu2);
+
+    // The base parameter set of Section 4: lambda=0.0055, mu=0.001,
+    // lambda'=mu'=0.01, lambda''=0.1, l=5, m=3, with the given message
+    // service rate (the paper uses mu''=20 for the headline numbers, 17 for
+    // Fig. 11/12 and 15 for Fig. 14-18).
+    static HapParams paper_baseline(double message_service_rate = 20.0);
+
+    // A 2-level HAP (the generalized on-off model, Section 2.1): "calls"
+    // arrive and depart as M/M/inf and emit one message type while active.
+    // Realized as a degenerate user level pinned by permanent_users = 1 with
+    // the call process at the application level.
+    static HapParams two_level(double call_arrival_rate, double call_departure_rate,
+                               double message_rate, double message_service_rate);
+
+    // --- derived quantities (paper Eq. 4 and neighbors) ---------------------
+
+    // a = lambda / mu: mean number of users present.
+    double mean_users() const noexcept;
+    // y-bar = a * sum_i b_i: mean number of application instances.
+    double mean_apps() const noexcept;
+    // lambda-bar = a * sum_i b_i Lambda_i (Eq. 4): mean message arrival rate.
+    double mean_message_rate() const noexcept;
+    // Weighted mean service rate; equals mu'' when all message types share it.
+    double mean_service_rate() const noexcept;
+    // rho = lambda-bar / mu'' for the uniform-service case.
+    double offered_load() const noexcept;
+
+    std::size_t num_app_types() const noexcept { return apps.size(); }
+    bool bounded() const noexcept { return max_users > 0 || max_apps > 0; }
+    // True when every application type has identical (lambda_i, mu_i) and
+    // every message type identical (lambda_ij, mu_ij) — enables the lumped
+    // (x, y) modulating chain of the paper's Fig. 7.
+    bool homogeneous_types() const noexcept;
+    bool uniform_service() const noexcept;
+
+    // Throws std::invalid_argument if any rate is non-positive or shapes are
+    // inconsistent.
+    void validate() const;
+
+    // Number of permanent users pinned in the system (used by two_level();
+    // 0 means the user level is the usual M/M/inf process).
+    std::size_t permanent_users = 0;
+};
+
+}  // namespace hap::core

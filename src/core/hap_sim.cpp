@@ -1,0 +1,278 @@
+#include "core/hap_sim.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace hap::core {
+
+namespace {
+
+struct TypeInfo {
+    double app_arrival;       // lambda_i (per user)
+    double app_departure;     // mu_i (per instance)
+    double message_rate;      // Lambda_i (per instance)
+    std::vector<double> msg_cum;      // cumulative lambda_ij within the type
+    std::vector<double> msg_service;  // mu_ij
+};
+
+std::vector<TypeInfo> type_table(const HapParams& p) {
+    std::vector<TypeInfo> types;
+    types.reserve(p.apps.size());
+    for (const ApplicationType& a : p.apps) {
+        TypeInfo t{};
+        t.app_arrival = a.arrival_rate;
+        t.app_departure = a.departure_rate;
+        t.message_rate = a.total_message_rate();
+        double cum = 0.0;
+        for (const MessageType& m : a.messages) {
+            cum += m.arrival_rate;
+            t.msg_cum.push_back(cum);
+            t.msg_service.push_back(m.service_rate);
+        }
+        types.push_back(std::move(t));
+    }
+    return types;
+}
+
+}  // namespace
+
+HapSimResult simulate_hap_queue(const HapParams& params, sim::RandomStream& rng,
+                                const HapSimOptions& opts) {
+    params.validate();
+    const std::vector<TypeInfo> types = type_table(params);
+    const std::size_t l = types.size();
+    const bool dynamic_users = params.permanent_users == 0;
+
+    HapSimResult res;
+    res.horizon = opts.horizon;
+    res.number = stats::TimeWeightedStats(opts.warmup, 0.0);
+    res.users = stats::TimeWeightedStats(opts.warmup, 0.0);
+    res.apps = stats::TimeWeightedStats(opts.warmup, 0.0);
+    res.busy = stats::BusyPeriodTracker(opts.warmup);
+    if (opts.per_type_stats) res.delay_by_app_type.resize(l);
+
+    struct QueuedMsg {
+        double arrival;
+        double service_rate;
+        std::uint32_t app_type;
+    };
+    std::deque<QueuedMsg> queue;
+
+    double now = 0.0;
+    std::uint64_t users = params.permanent_users;
+    std::vector<std::uint64_t> apps(l, 0);
+    std::uint64_t total_apps = 0;
+
+    const auto queue_changed = [&] {
+        if (now < opts.warmup) return;
+        res.number.update(now, static_cast<double>(queue.size()));
+        res.busy.observe(now, queue.size());
+        if (opts.on_queue_change) opts.on_queue_change(now, queue.size());
+    };
+    const auto population_changed = [&] {
+        if (now < opts.warmup) return;
+        res.users.update(now, static_cast<double>(users));
+        res.apps.update(now, static_cast<double>(total_apps));
+        if (opts.on_population_change) opts.on_population_change(now, users, total_apps);
+    };
+
+    // Populate the hierarchy at its stationary mean so the warmup is short.
+    // (Starting empty biases short runs: users take ~1/mu to accumulate.)
+    if (dynamic_users)
+        users = static_cast<std::uint64_t>(params.mean_users() + 0.5);
+    for (std::size_t i = 0; i < l; ++i) {
+        apps[i] = static_cast<std::uint64_t>(
+            static_cast<double>(users) * types[i].app_arrival / types[i].app_departure + 0.5);
+        total_apps += apps[i];
+    }
+
+    std::vector<double> cat(2 + 3 * l + 1, 0.0);
+    while (true) {
+        // Event category rates, in a fixed layout:
+        // [0] user arrival, [1] user departure,
+        // [2+3i] app-i arrival, [3+3i] app-i departure, [4+3i] message-i,
+        // [2+3l] service completion.
+        const double xd = static_cast<double>(users);
+        double total = 0.0;
+        const bool user_ok =
+            dynamic_users && (params.max_users == 0 || users < params.max_users);
+        total += cat[0] = user_ok ? params.user_arrival_rate : 0.0;
+        total += cat[1] = dynamic_users ? xd * params.user_departure_rate : 0.0;
+        const bool app_ok = params.max_apps == 0 || total_apps < params.max_apps;
+        for (std::size_t i = 0; i < l; ++i) {
+            const double yd = static_cast<double>(apps[i]);
+            total += cat[2 + 3 * i] = app_ok ? xd * types[i].app_arrival : 0.0;
+            total += cat[3 + 3 * i] = yd * types[i].app_departure;
+            total += cat[4 + 3 * i] = yd * types[i].message_rate;
+        }
+        total += cat[2 + 3 * l] = queue.empty() ? 0.0 : queue.front().service_rate;
+
+        if (total <= 0.0) break;  // frozen system (cannot happen with valid params)
+        const double dt = rng.exponential(total);
+        const double hold_start = now;
+        now += dt;
+        if (now >= opts.horizon) break;
+        if (hold_start >= opts.warmup) {
+            if (dynamic_users && params.max_users > 0 && users >= params.max_users)
+                res.time_at_user_bound += dt;
+            if (!app_ok) res.time_at_app_bound += dt;
+        }
+
+        double u = rng.uniform() * total;
+        std::size_t k = 0;
+        while (k + 1 < cat.size() && u >= cat[k]) {
+            u -= cat[k];
+            ++k;
+        }
+
+        if (k == 0) {
+            ++users;
+            population_changed();
+        } else if (k == 1) {
+            --users;
+            population_changed();
+        } else if (k == 2 + 3 * l) {
+            // Service completion.
+            const QueuedMsg msg = queue.front();
+            queue.pop_front();
+            if (msg.arrival >= opts.warmup) {
+                const double sojourn = now - msg.arrival;
+                res.delay.add(sojourn);
+                if (opts.record_delays) res.delays.push_back(sojourn);
+                if (opts.per_type_stats) res.delay_by_app_type[msg.app_type].add(sojourn);
+                ++res.departures;
+            }
+            queue_changed();
+        } else {
+            const std::size_t i = (k - 2) / 3;
+            switch ((k - 2) % 3) {
+                case 0:
+                    ++apps[i];
+                    ++total_apps;
+                    population_changed();
+                    break;
+                case 1:
+                    --apps[i];
+                    --total_apps;
+                    population_changed();
+                    break;
+                case 2: {
+                    // Message arrival of application type i. Drop on a full
+                    // finite buffer; otherwise pick message type j
+                    // proportional to lambda_ij and enqueue.
+                    if (opts.buffer_capacity > 0 &&
+                        queue.size() >= opts.buffer_capacity) {
+                        if (now >= opts.warmup) ++res.losses;
+                        break;
+                    }
+                    double v = rng.uniform() * types[i].message_rate;
+                    std::size_t j = 0;
+                    while (j + 1 < types[i].msg_cum.size() && v >= types[i].msg_cum[j]) ++j;
+                    queue.push_back(QueuedMsg{now, types[i].msg_service[j],
+                                              static_cast<std::uint32_t>(i)});
+                    if (now >= opts.warmup) {
+                        ++res.arrivals;
+                        if (opts.record_arrival_times) res.arrival_times.push_back(now);
+                    }
+                    queue_changed();
+                    break;
+                }
+            }
+        }
+
+    }
+
+    res.number.finish(opts.horizon);
+    res.users.finish(opts.horizon);
+    res.apps.finish(opts.horizon);
+    res.busy.finish(opts.horizon);
+    res.utilization = res.busy.busy_fraction();
+    const double observed = opts.horizon - opts.warmup;
+    if (observed > 0.0) {
+        res.time_at_user_bound /= observed;
+        res.time_at_app_bound /= observed;
+    }
+    return res;
+}
+
+HapSource::HapSource(HapParams params) : params_(std::move(params)) {
+    params_.validate();
+    reset();
+}
+
+void HapSource::reset() {
+    time_ = 0.0;
+    users_ = params_.permanent_users > 0
+                 ? params_.permanent_users
+                 : static_cast<std::uint64_t>(params_.mean_users() + 0.5);
+    apps_.assign(params_.num_app_types(), 0);
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+        const ApplicationType& a = params_.apps[i];
+        apps_[i] = static_cast<std::uint64_t>(
+            static_cast<double>(users_) * a.arrival_rate / a.departure_rate + 0.5);
+    }
+}
+
+double HapSource::mean_rate() const { return params_.mean_message_rate(); }
+
+double HapSource::next(sim::RandomStream& rng) {
+    const bool dynamic_users = params_.permanent_users == 0;
+    const std::size_t l = params_.num_app_types();
+    for (;;) {
+        const double xd = static_cast<double>(users_);
+        std::uint64_t total_apps = 0;
+        for (std::uint64_t y : apps_) total_apps += y;
+
+        const bool user_ok =
+            dynamic_users && (params_.max_users == 0 || users_ < params_.max_users);
+        const bool app_ok = params_.max_apps == 0 || total_apps < params_.max_apps;
+
+        double total = 0.0;
+        const double r_user_arr = user_ok ? params_.user_arrival_rate : 0.0;
+        const double r_user_dep = dynamic_users ? xd * params_.user_departure_rate : 0.0;
+        total += r_user_arr + r_user_dep;
+        double msg_total = 0.0;
+        for (std::size_t i = 0; i < l; ++i) {
+            const ApplicationType& a = params_.apps[i];
+            const double yd = static_cast<double>(apps_[i]);
+            total += (app_ok ? xd * a.arrival_rate : 0.0) + yd * a.departure_rate;
+            msg_total += yd * a.total_message_rate();
+        }
+        total += msg_total;
+        if (total <= 0.0) return std::numeric_limits<double>::infinity();
+
+        time_ += rng.exponential(total);
+        double u = rng.uniform() * total;
+
+        if (u < msg_total) return time_;
+        u -= msg_total;
+        if (u < r_user_arr) {
+            ++users_;
+            continue;
+        }
+        u -= r_user_arr;
+        if (u < r_user_dep) {
+            --users_;
+            continue;
+        }
+        u -= r_user_dep;
+        for (std::size_t i = 0; i < l; ++i) {
+            const ApplicationType& a = params_.apps[i];
+            const double arr = app_ok ? xd * a.arrival_rate : 0.0;
+            if (u < arr) {
+                ++apps_[i];
+                break;
+            }
+            u -= arr;
+            const double dep = static_cast<double>(apps_[i]) * a.departure_rate;
+            if (u < dep) {
+                --apps_[i];
+                break;
+            }
+            u -= dep;
+        }
+    }
+}
+
+}  // namespace hap::core

@@ -1,0 +1,311 @@
+#include "core/solution0.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hap_chain.hpp"
+
+namespace hap::core {
+
+namespace {
+
+struct Grid {
+    std::size_t x_lo, x_hi, y_hi, z_hi;
+    std::size_t nx, ny, nz;
+
+    std::size_t size() const noexcept { return nx * ny * nz; }
+    std::size_t idx(std::size_t x, std::size_t y, std::size_t z) const noexcept {
+        return ((x - x_lo) * ny + y) * nz + z;
+    }
+};
+
+struct Rates {
+    bool dynamic_users;
+    double lambda;   // user arrival
+    double mu;       // user departure (per user)
+    double alpha;    // app arrival per user (l * lambda')
+    double mu1;      // app departure (per instance)
+    double beta;     // message rate per app instance (m * lambda'')
+    double mu2;      // message service rate
+};
+
+struct Observables {
+    double mean_z = 0.0;
+    double throughput = 0.0;
+    double busy = 0.0;
+    double sigma_num = 0.0;
+    double sigma_den = 0.0;
+    double mean_x = 0.0;
+    double mean_y = 0.0;
+    double boundary = 0.0;
+};
+
+Observables measure(const Grid& g, const Rates& r, const std::vector<double>& pi) {
+    Observables o;
+    for (std::size_t x = g.x_lo; x <= g.x_hi; ++x) {
+        for (std::size_t y = 0; y <= g.y_hi; ++y) {
+            const double arr = static_cast<double>(y) * r.beta;
+            for (std::size_t z = 0; z <= g.z_hi; ++z) {
+                const double p = pi[g.idx(x, y, z)];
+                o.mean_z += p * static_cast<double>(z);
+                o.mean_x += p * static_cast<double>(x);
+                o.mean_y += p * static_cast<double>(y);
+                if (z > 0) o.busy += p;
+                if (z < g.z_hi) {
+                    o.throughput += p * arr;
+                    o.sigma_den += p * arr;
+                    if (z > 0) o.sigma_num += p * arr;
+                }
+                if (x == g.x_hi || y == g.y_hi || z == g.z_hi) o.boundary += p;
+            }
+        }
+    }
+    return o;
+}
+
+// One line-relaxation sweep (Gauss-Seidel over (x, y) lines, exact
+// tridiagonal solve along z). The z direction is the stiff one — message
+// rates are orders of magnitude above the modulating rates — so solving each
+// z-line exactly via the Thomas algorithm collapses what would be thousands
+// of point-GS sweeps into the slow (x, y) diffusion alone. `forward`
+// alternates the (x, y) traversal direction.
+struct LineWorkspace {
+    std::vector<double> cp;   // Thomas forward-elimination coefficients
+    std::vector<double> rhs;  // lateral inflow S(z), then back-substituted
+};
+
+void sweep(const Grid& g, const Rates& r, std::vector<double>& pi, bool forward,
+           LineWorkspace& ws) {
+    const std::size_t xy_stride = g.ny * g.nz;
+    ws.cp.resize(g.nz);
+    ws.rhs.resize(g.nz);
+    for (std::size_t xi = 0; xi < g.nx; ++xi) {
+        const std::size_t x = g.x_lo + (forward ? xi : g.nx - 1 - xi);
+        const double xd = static_cast<double>(x);
+        const std::size_t xoff = (x - g.x_lo) * xy_stride;
+        for (std::size_t yi = 0; yi < g.ny; ++yi) {
+            const std::size_t y = forward ? yi : g.ny - 1 - yi;
+            const double yd = static_cast<double>(y);
+            const double arr = yd * r.beta;
+
+            double* cur = pi.data() + xoff + y * g.nz;
+            const double* xlo = x > g.x_lo ? cur - xy_stride : nullptr;
+            const double* xhi = x < g.x_hi ? cur + xy_stride : nullptr;
+            const double* ylo = y > 0 ? cur - g.nz : nullptr;
+            const double* yhi = y < g.y_hi ? cur + g.nz : nullptr;
+
+            // Diagonal contribution shared by every z on this line.
+            double out_base = yd * r.mu1;
+            if (r.dynamic_users) {
+                if (x < g.x_hi) out_base += r.lambda;
+                out_base += xd * r.mu;
+            }
+            if (y < g.y_hi) out_base += xd * r.alpha;
+            const double w_xlo = r.lambda;
+            const double w_xhi = (xd + 1.0) * r.mu;
+            const double w_ylo = xd * r.alpha;
+            const double w_yhi = (yd + 1.0) * r.mu1;
+
+            // Lateral inflow S(z) from the four neighbor lines.
+            for (std::size_t z = 0; z < g.nz; ++z) {
+                double s = 0.0;
+                if (xlo) s += w_xlo * xlo[z];
+                if (xhi) s += w_xhi * xhi[z];
+                if (ylo) s += w_ylo * ylo[z];
+                if (yhi) s += w_yhi * yhi[z];
+                ws.rhs[z] = s;
+            }
+
+            // Tridiagonal system along z:
+            //   -arr * p[z-1] + out(z) * p[z] - mu2 * p[z+1] = S(z),
+            // out(z) = out_base + arr [z < z_hi] + mu2 [z > 0]. Diagonally
+            // dominant (out >= arr + mu2 + lateral), so Thomas is stable.
+            {
+                double b0 = out_base + (g.z_hi > 0 ? arr : 0.0);
+                if (b0 <= 0.0) b0 = 1.0;  // isolated state; keeps div sane
+                ws.cp[0] = -r.mu2 / b0;
+                ws.rhs[0] /= b0;
+                for (std::size_t z = 1; z < g.nz; ++z) {
+                    const double a = -arr;  // sub-diagonal
+                    double b = out_base + r.mu2 + (z < g.z_hi ? arr : 0.0);
+                    const double denom = b - a * ws.cp[z - 1];
+                    const double c = (z < g.z_hi) ? -r.mu2 : 0.0;
+                    ws.cp[z] = c / denom;
+                    ws.rhs[z] = (ws.rhs[z] - a * ws.rhs[z - 1]) / denom;
+                }
+                cur[g.nz - 1] = ws.rhs[g.nz - 1];
+                for (std::size_t z = g.nz - 1; z-- > 0;)
+                    cur[z] = ws.rhs[z] - ws.cp[z] * cur[z + 1];
+            }
+        }
+    }
+}
+
+void normalize(std::vector<double>& pi) {
+    double total = 0.0;
+    for (double v : pi) total += v;
+    const double inv = 1.0 / total;
+    for (double& v : pi) v *= inv;
+}
+
+// Pin every (x, y) line's total mass to the exact modulating-chain marginal.
+// The modulating chain is autonomous (its dynamics do not depend on z), so
+// its stationary law is known independently and cheaply; enforcing it after
+// each sweep removes the slow "mass migration between lines" error mode that
+// otherwise makes Gauss-Seidel crawl on this nearly-decomposable system —
+// the very metastability that cost the paper two weeks of SUN-4/280 time.
+void project_marginal(const Grid& g, const std::vector<double>& marginal,
+                      std::vector<double>& pi) {
+    const std::size_t lines = g.nx * g.ny;
+    for (std::size_t line = 0; line < lines; ++line) {
+        double* cur = pi.data() + line * g.nz;
+        double total = 0.0;
+        for (std::size_t z = 0; z < g.nz; ++z) total += cur[z];
+        const double target = marginal[line];
+        if (total > 0.0) {
+            const double f = target / total;
+            for (std::size_t z = 0; z < g.nz; ++z) cur[z] *= f;
+        } else {
+            for (std::size_t z = 0; z < g.nz; ++z) cur[z] = 0.0;
+            cur[0] = target;
+        }
+    }
+}
+
+}  // namespace
+
+Solution0Result solve_solution0(const HapParams& params, const Solution0Options& opts) {
+    params.validate();
+    if (!params.homogeneous_types())
+        throw std::invalid_argument("solve_solution0: homogeneous application types required");
+    if (!params.uniform_service())
+        throw std::invalid_argument("solve_solution0: uniform message service rate required");
+
+    const ApplicationType& app = params.apps.front();
+    Rates r{};
+    r.dynamic_users = params.permanent_users == 0;
+    r.lambda = params.user_arrival_rate;
+    r.mu = params.user_departure_rate;
+    r.alpha = static_cast<double>(params.num_app_types()) * app.arrival_rate;
+    r.mu1 = app.departure_rate;
+    r.beta = app.total_message_rate();
+    r.mu2 = app.messages.front().service_rate;
+
+    const double a = params.mean_users();
+    const double c = r.alpha / r.mu1;  // mean apps per user
+    const double mean_y = a * c;
+    const double var_y = mean_y + c * c * (r.dynamic_users ? a : 0.0);
+
+    Grid g{};
+    g.x_lo = params.permanent_users;
+    if (r.dynamic_users) {
+        g.x_hi = opts.max_users > 0
+                     ? opts.max_users
+                     : static_cast<std::size_t>(std::ceil(a + 8.0 * std::sqrt(a + 1.0) + 3.0));
+        if (params.max_users > 0 && params.max_users < g.x_hi) g.x_hi = params.max_users;
+    } else {
+        g.x_hi = g.x_lo;
+    }
+    g.y_hi = opts.max_apps > 0
+                 ? opts.max_apps
+                 : static_cast<std::size_t>(std::ceil(mean_y + 9.0 * std::sqrt(var_y) + 10.0));
+    if (params.max_apps > 0 && params.max_apps < g.y_hi) g.y_hi = params.max_apps;
+
+    const double rho = params.mean_message_rate() / r.mu2;
+    if (opts.max_messages > 0) {
+        g.z_hi = opts.max_messages;
+    } else {
+        // The z tail is governed by excursions of y above the service rate;
+        // scale the bound with load (heavier load -> longer excursions).
+        const double base = 400.0 / std::max(0.05, 1.0 - rho);
+        g.z_hi = static_cast<std::size_t>(std::min(6000.0, std::ceil(base)));
+    }
+    g.nx = g.x_hi - g.x_lo + 1;
+    g.ny = g.y_hi + 1;
+    g.nz = g.z_hi + 1;
+
+    // Exact stationary law of the modulating (x, y) chain on the same box;
+    // LumpedChain uses the identical (x - x_lo) * ny + y indexing.
+    ChainBounds mb;
+    mb.max_users = g.x_hi;
+    mb.max_apps_total = g.y_hi;
+    const LumpedChain mod_chain(params, mb);
+    markov::SolveOptions mod_opts;
+    mod_opts.tol = 1e-13;
+    const markov::SolveResult mod = mod_chain.solve(mod_opts);
+    if (!mod.converged)
+        throw std::runtime_error("solve_solution0: modulating-chain solve failed");
+    const std::vector<double>& marginal = mod.pi;
+
+    // Initial guess: the exact modulating marginal times a geometric queue
+    // profile at the offered load (the paper started from uniform).
+    std::vector<double> pi(g.size());
+    {
+        const double sigma0 = std::min(0.95, rho);
+        for (std::size_t line = 0; line < g.nx * g.ny; ++line) {
+            double zt = 1.0;
+            double* cur = pi.data() + line * g.nz;
+            for (std::size_t z = 0; z < g.nz; ++z) {
+                cur[z] = zt;
+                zt *= sigma0;
+            }
+        }
+        project_marginal(g, marginal, pi);
+    }
+
+    Solution0Result res;
+    res.states = g.size();
+
+    double prev_delay = -1.0;
+    double prev_z = -1.0;
+    LineWorkspace ws;
+    for (std::size_t s = 1; s <= opts.max_sweeps; ++s) {
+        sweep(g, r, pi, (s % 2) == 1, ws);
+        project_marginal(g, marginal, pi);
+        if (s % opts.check_every == 0 || s == opts.max_sweeps) {
+            const Observables o = measure(g, r, pi);
+            const double delay = o.throughput > 0.0 ? o.mean_z / o.throughput : 0.0;
+            res.sweeps = s;
+            if (opts.verbose)
+                std::fprintf(stderr,
+                             "solution0: sweep %zu delay %.8f mean_z %.6f "
+                             "util %.6f boundary %.2e\n",
+                             s, delay, o.mean_z, o.busy, o.boundary);
+            if (prev_delay >= 0.0) {
+                const double dd = std::abs(delay - prev_delay) / std::max(delay, 1e-12);
+                const double dz = std::abs(o.mean_z - prev_z) / std::max(o.mean_z, 1e-12);
+                if (dd < opts.tol && dz < opts.tol) {
+                    res.converged = true;
+                    res.mean_messages = o.mean_z;
+                    res.mean_rate = o.throughput;
+                    res.mean_delay = delay;
+                    res.utilization = o.busy;
+                    res.sigma = o.sigma_den > 0.0 ? o.sigma_num / o.sigma_den : 0.0;
+                    res.mean_users = o.mean_x;
+                    res.mean_apps = o.mean_y;
+                    res.truncation_mass = o.boundary;
+                    return res;
+                }
+            }
+            prev_delay = delay;
+            prev_z = o.mean_z;
+        }
+    }
+
+    normalize(pi);
+    const Observables o = measure(g, r, pi);
+    res.mean_messages = o.mean_z;
+    res.mean_rate = o.throughput;
+    res.mean_delay = o.throughput > 0.0 ? o.mean_z / o.throughput : 0.0;
+    res.utilization = o.busy;
+    res.sigma = o.sigma_den > 0.0 ? o.sigma_num / o.sigma_den : 0.0;
+    res.mean_users = o.mean_x;
+    res.mean_apps = o.mean_y;
+    res.truncation_mass = o.boundary;
+    res.sweeps = opts.max_sweeps;
+    return res;
+}
+
+}  // namespace hap::core

@@ -1,0 +1,86 @@
+#include "core/solution1.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace hap::core {
+
+Solution1::Solution1(HapParams params)
+    : Solution1(std::move(params), ChainBounds{}) {}
+
+Solution1::Solution1(HapParams params, const ChainBounds& bounds)
+    : params_(std::move(params)) {
+    params_.validate();
+    ChainBounds b = bounds;
+    if (b.max_users == 0 && b.max_apps_total == 0 && b.max_apps_per_type == 0)
+        b = ChainBounds::defaults_for(params_);
+
+    if (params_.homogeneous_types()) {
+        const LumpedChain chain(params_, b);
+        const markov::SolveResult sol = chain.solve();
+        if (!sol.converged)
+            throw std::runtime_error("Solution1: steady-state solve did not converge");
+        chain_states_ = chain.num_states();
+        solver_iterations_ = sol.iterations;
+        std::vector<double> users(chain.num_states());
+        std::vector<double> apps(chain.num_states());
+        for (std::size_t s = 0; s < chain.num_states(); ++s) {
+            users[s] = static_cast<double>(chain.users_of(s));
+            apps[s] = static_cast<double>(chain.apps_of(s));
+        }
+        analyze(sol.pi, chain.arrival_rates(), users, apps);
+    } else {
+        const GeneralChain chain(params_, b);
+        const markov::SolveResult sol = chain.solve();
+        if (!sol.converged)
+            throw std::runtime_error("Solution1: steady-state solve did not converge");
+        chain_states_ = chain.num_states();
+        solver_iterations_ = sol.iterations;
+        std::vector<double> users(chain.num_states());
+        std::vector<double> apps(chain.num_states());
+        for (std::size_t s = 0; s < chain.num_states(); ++s) {
+            const std::vector<std::size_t> coords = chain.decode(s);
+            users[s] = static_cast<double>(coords[0]);
+            double total = 0.0;
+            for (std::size_t i = 1; i < coords.size(); ++i)
+                total += static_cast<double>(coords[i]);
+            apps[s] = total;
+        }
+        analyze(sol.pi, chain.arrival_rates(), users, apps);
+    }
+}
+
+void Solution1::analyze(const std::vector<double>& pi, const std::vector<double>& rates,
+                        const std::vector<double>& users, const std::vector<double>& apps) {
+    // lambda-bar = sum_s pi(s) r(s); mixture weight of rate r is
+    // pi(s) r(s) / lambda-bar (paper Eq. 3). States sharing one arrival rate
+    // are merged so the mixture stays compact.
+    lambda_bar_ = 0.0;
+    mean_users_ = 0.0;
+    mean_apps_ = 0.0;
+    std::map<double, double> mass_by_rate;
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+        lambda_bar_ += pi[s] * rates[s];
+        mean_users_ += pi[s] * users[s];
+        mean_apps_ += pi[s] * apps[s];
+        if (rates[s] > 0.0) mass_by_rate[rates[s]] += pi[s] * rates[s];
+    }
+    if (lambda_bar_ <= 0.0)
+        throw std::runtime_error("Solution1: degenerate chain (zero arrival rate)");
+
+    mixture_.weights.clear();
+    mixture_.rates.clear();
+    mixture_.weights.reserve(mass_by_rate.size());
+    mixture_.rates.reserve(mass_by_rate.size());
+    for (const auto& [rate, mass] : mass_by_rate) {
+        mixture_.rates.push_back(rate);
+        mixture_.weights.push_back(mass / lambda_bar_);
+    }
+}
+
+queueing::Gm1Result Solution1::solve_queue(double service_rate) const {
+    return queueing::solve_gm1([this](double s) { return laplace(s); }, service_rate,
+                               lambda_bar_);
+}
+
+}  // namespace hap::core

@@ -1,0 +1,81 @@
+// Solution 2 (paper Section 3.2.3): closed-form conditional-probability
+// analysis of the HAP message interarrival law, plus the G/M/1 reduction.
+//
+// Conditioning on x ~ Poisson(a) users (M/M/inf) and y_i | x ~ Poisson(x b_i)
+// application instances, with per-instance message rate Lambda_i, the
+// arrival-rate-weighted interarrival mixture has (derivation in DESIGN.md):
+//
+//   S(t) = sum_i b_i (e^{-Lambda_i t} - 1)        u(t) = e^{S(t)}
+//   L(t) = e^{a (u(t) - 1)}                        (paper Eq. 7-9)
+//   V(t) = sum_i b_i Lambda_i e^{-Lambda_i t}      W = sum_i b_i Lambda_i^2 e^{-..}
+//   M(t) = a u(t) V(t)                             so L' = -L M
+//   1 - A(t) = L(t) M(t) / lambda-bar
+//   a(t) = L(t) [M^2 + M V + a u W] / lambda-bar   (paper Eq. 10-11)
+//
+// For a pinned user level (x = X permanent users, the 2-level/on-off case)
+// the outer expectation collapses: L = e^{X S}, M = X V,
+// a(t) = L [M^2 + X W] / lambda-bar.
+//
+// The queue is then treated as G/M/1: sigma = A*(mu''(1 - sigma)), delay
+// T = 1/(mu''(1 - sigma)). For bounded HAPs (admission control, Fig. 20) the
+// Poisson marginals become truncated and the transform is evaluated as an
+// exact finite mixture; this path requires homogeneous application types.
+#pragma once
+
+#include <optional>
+
+#include "core/hap_params.hpp"
+#include "numerics/laplace.hpp"
+#include "queueing/gm1.hpp"
+
+namespace hap::core {
+
+class Solution2 {
+public:
+    explicit Solution2(HapParams params);
+
+    const HapParams& params() const noexcept { return params_; }
+
+    // lambda-bar (Eq. 4 for the unbounded case; truncated sums when bounded).
+    double mean_rate() const;
+
+    // Closed-form interarrival density / CDF (unbounded HAPs only; throws
+    // std::logic_error for bounded parameters).
+    double interarrival_density(double t) const;
+    double interarrival_cdf(double t) const;
+
+    // Mass the rate-weighted mixture assigns "at infinity" trend: L(inf),
+    // the probability weight of zero-arrival-rate modulating states; the
+    // mixture mean is (1 - L(inf)) / lambda-bar (the paper's Fig. 9 treats
+    // this as 1/lambda-bar; the gap is < 1% for the paper's parameters).
+    double zero_rate_mass() const;
+
+    // Laplace transform A*(s) of the interarrival law.
+    double laplace(double s) const;
+
+    // Full G/M/1 analysis at the given service rate (defaults to the
+    // parameter set's uniform service rate).
+    queueing::Gm1Result solve_queue(double service_rate) const;
+    queueing::Gm1Result solve_queue() const;
+
+    // The finite-mixture representation (exact for homogeneous types,
+    // truncated Poisson marginals; honors admission bounds). Exposed for
+    // tests and for composing with other tools.
+    const numerics::ExponentialMixture& mixture() const;
+
+private:
+    // Closed-form ingredients.
+    double fn_s(double t) const;
+    double fn_v(double t) const;
+    double fn_w(double t) const;
+    void build_mixture() const;
+
+    HapParams params_;
+    double a_ = 0.0;          // mean users (Poisson parameter or pinned count)
+    bool pinned_users_ = false;
+    double lambda_bar_unbounded_ = 0.0;
+    mutable std::optional<numerics::ExponentialMixture> mixture_;
+    mutable double lambda_bar_bounded_ = 0.0;
+};
+
+}  // namespace hap::core

@@ -1,0 +1,27 @@
+// "Solution 3" (our extension; the paper cites Neuts [14, 15] but stops at
+// brute force): exact matrix-geometric solution of the HAP/M/1 queue. The
+// modulating chain is truncated to a finite phase space and the queue level
+// is handled analytically through Neuts' R matrix — no z-truncation error at
+// all, unlike Solution 0. Cubic in the phase count, so keep the chain bounds
+// moderate (it is exact even for small bounds on lightly-loaded lattices and
+// cross-validates Solution 0 and the simulators in the tests).
+#pragma once
+
+#include "core/hap_chain.hpp"
+#include "core/hap_params.hpp"
+#include "markov/qbd.hpp"
+
+namespace hap::core {
+
+struct Solution3Result {
+    markov::QbdResult qbd;
+    std::size_t phase_states = 0;
+};
+
+// Uniform message service rate required (as in Solutions 0/1/2). Bounds
+// default to ChainBounds::defaults_for(params, /*spread=*/6.0) — tighter than
+// Solution 1's because of the cubic cost.
+Solution3Result solve_solution3(const HapParams& params);
+Solution3Result solve_solution3(const HapParams& params, const ChainBounds& bounds);
+
+}  // namespace hap::core

@@ -1,0 +1,144 @@
+#include "markov/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hap::markov {
+
+Ctmc::Ctmc(std::size_t num_states) : n_(num_states) {
+    if (num_states == 0) throw std::invalid_argument("Ctmc: zero states");
+    if (num_states > UINT32_MAX) throw std::invalid_argument("Ctmc: too many states");
+}
+
+void Ctmc::add_transition(std::size_t from, std::size_t to, double rate) {
+    if (finalized_) throw std::logic_error("Ctmc: add_transition after finalize");
+    if (from >= n_ || to >= n_) throw std::out_of_range("Ctmc: state out of range");
+    if (from == to) throw std::invalid_argument("Ctmc: self-loop");
+    if (rate < 0.0) throw std::invalid_argument("Ctmc: negative rate");
+    if (rate == 0.0) return;
+    edges_.push_back(Transition{static_cast<std::uint32_t>(from),
+                                static_cast<std::uint32_t>(to), rate});
+}
+
+void Ctmc::finalize() {
+    if (finalized_) return;
+    exit_rates_.assign(n_, 0.0);
+    std::vector<std::size_t> in_counts(n_, 0);
+    for (const Transition& e : edges_) {
+        exit_rates_[e.from] += e.rate;
+        ++in_counts[e.to];
+    }
+    in_offsets_.assign(n_ + 1, 0);
+    for (std::size_t s = 0; s < n_; ++s) in_offsets_[s + 1] = in_offsets_[s] + in_counts[s];
+    in_from_.resize(edges_.size());
+    in_rate_.resize(edges_.size());
+    std::vector<std::size_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (const Transition& e : edges_) {
+        const std::size_t pos = cursor[e.to]++;
+        in_from_[pos] = e.from;
+        in_rate_[pos] = e.rate;
+    }
+    finalized_ = true;
+}
+
+Ctmc::InEdges Ctmc::in_edges(std::size_t s) const {
+    if (!finalized_) throw std::logic_error("Ctmc: not finalized");
+    const std::size_t begin = in_offsets_.at(s);
+    const std::size_t end = in_offsets_.at(s + 1);
+    return InEdges{in_from_.data() + begin, in_rate_.data() + begin, end - begin};
+}
+
+namespace {
+
+void normalize(std::vector<double>& pi) {
+    double total = 0.0;
+    for (double v : pi) total += v;
+    if (total <= 0.0) return;
+    const double inv = 1.0 / total;
+    for (double& v : pi) v *= inv;
+}
+
+double max_relative_change(const std::vector<double>& a, const std::vector<double>& b) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // States with negligible mass are compared absolutely, not
+        // relatively, so the stopping rule is not hostage to 1e-100 states.
+        const double scale = std::max(b[i], 1e-14);
+        worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+    }
+    return worst;
+}
+
+}  // namespace
+
+SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
+    if (!chain.finalized()) throw std::logic_error("solve_steady_state: finalize first");
+    const std::size_t n = chain.num_states();
+    SolveResult res;
+    res.pi.assign(n, 1.0 / static_cast<double>(n));
+    std::vector<double> prev(n);
+
+    for (std::size_t iter = 1; iter <= opts.max_iter; ++iter) {
+        const bool check = (iter % opts.check_every) == 0;
+        if (check) prev = res.pi;
+        for (std::size_t s = 0; s < n; ++s) {
+            const double out = chain.exit_rate(s);
+            if (out <= 0.0) continue;  // absorbing (shouldn't occur for HAP lattices)
+            const Ctmc::InEdges in = chain.in_edges(s);
+            double inflow = 0.0;
+            for (std::size_t k = 0; k < in.count; ++k)
+                inflow += res.pi[in.from[k]] * in.rate[k];
+            res.pi[s] = inflow / out;
+        }
+        normalize(res.pi);
+        if (check) {
+            res.residual = max_relative_change(res.pi, prev);
+            res.iterations = iter;
+            if (res.residual < opts.tol) {
+                res.converged = true;
+                return res;
+            }
+        }
+    }
+    res.iterations = opts.max_iter;
+    return res;
+}
+
+SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts) {
+    if (!chain.finalized()) throw std::logic_error("solve_steady_state_power: finalize first");
+    const std::size_t n = chain.num_states();
+    double lambda = 0.0;
+    for (std::size_t s = 0; s < n; ++s) lambda = std::max(lambda, chain.exit_rate(s));
+    lambda *= 1.02;  // strict uniformization constant avoids periodicity
+    if (lambda <= 0.0) throw std::invalid_argument("solve_steady_state_power: empty chain");
+
+    SolveResult res;
+    res.pi.assign(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n);
+    std::vector<double> prev(n);
+
+    for (std::size_t iter = 1; iter <= opts.max_iter; ++iter) {
+        const bool check = (iter % opts.check_every) == 0;
+        if (check) prev = res.pi;
+        // next = pi * (I + Q / lambda)
+        for (std::size_t s = 0; s < n; ++s)
+            next[s] = res.pi[s] * (1.0 - chain.exit_rate(s) / lambda);
+        for (const Transition& e : chain.edges())
+            next[e.to] += res.pi[e.from] * (e.rate / lambda);
+        res.pi.swap(next);
+        normalize(res.pi);
+        if (check) {
+            res.residual = max_relative_change(res.pi, prev);
+            res.iterations = iter;
+            if (res.residual < opts.tol) {
+                res.converged = true;
+                return res;
+            }
+        }
+    }
+    res.iterations = opts.max_iter;
+    return res;
+}
+
+}  // namespace hap::markov

@@ -1,0 +1,93 @@
+#include "numerics/roots.hpp"
+
+#include <cmath>
+
+namespace hap::numerics {
+
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, const RootOptions& opts) {
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0) return lo;
+    if (fhi == 0.0) return hi;
+    if (std::signbit(flo) == std::signbit(fhi)) return std::nullopt;
+    for (int i = 0; i < opts.max_iter; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        if (fmid == 0.0 || hi - lo < opts.tol) return mid;
+        if (std::signbit(fmid) == std::signbit(flo)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::optional<double> damped_fixed_point(const std::function<double(double)>& g,
+                                         double x0, const RootOptions& opts) {
+    double x = x0;
+    for (int i = 0; i < opts.max_iter; ++i) {
+        const double gx = g(x);
+        if (std::abs(gx - x) < opts.tol) return gx;
+        x = 0.5 * (gx + x);
+    }
+    return std::nullopt;
+}
+
+std::optional<double> brent(const std::function<double(double)>& f, double lo,
+                            double hi, const RootOptions& opts) {
+    double a = lo, b = hi;
+    double fa = f(a), fb = f(b);
+    if (fa == 0.0) return a;
+    if (fb == 0.0) return b;
+    if (std::signbit(fa) == std::signbit(fb)) return std::nullopt;
+    if (std::abs(fa) < std::abs(fb)) {
+        std::swap(a, b);
+        std::swap(fa, fb);
+    }
+    double c = a, fc = fa;
+    bool bisected = true;
+    double d = 0.0;
+    for (int i = 0; i < opts.max_iter; ++i) {
+        double s;
+        if (fa != fc && fb != fc) {
+            // Inverse quadratic interpolation.
+            s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+                b * fa * fc / ((fb - fa) * (fb - fc)) +
+                c * fa * fb / ((fc - fa) * (fc - fb));
+        } else {
+            s = b - fb * (b - a) / (fb - fa);  // secant
+        }
+        const double mid = 0.5 * (a + b);
+        const bool out_of_range = (s < std::min(mid, b) || s > std::max(mid, b));
+        const bool slow = bisected ? std::abs(s - b) >= 0.5 * std::abs(b - c)
+                                   : std::abs(s - b) >= 0.5 * std::abs(c - d);
+        if (out_of_range || slow || std::abs(b - c) < opts.tol) {
+            s = mid;
+            bisected = true;
+        } else {
+            bisected = false;
+        }
+        const double fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if (std::signbit(fa) != std::signbit(fs)) {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if (std::abs(fa) < std::abs(fb)) {
+            std::swap(a, b);
+            std::swap(fa, fb);
+        }
+        if (fb == 0.0 || std::abs(b - a) < opts.tol) return b;
+    }
+    return b;
+}
+
+}  // namespace hap::numerics

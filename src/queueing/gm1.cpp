@@ -1,0 +1,69 @@
+#include "queueing/gm1.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/roots.hpp"
+
+namespace hap::queueing {
+
+Gm1Result solve_gm1(const std::function<double(double)>& transform,
+                    double service_rate, double arrival_rate,
+                    const Gm1Options& opts) {
+    if (service_rate <= 0.0) throw std::invalid_argument("solve_gm1: service_rate <= 0");
+    if (arrival_rate <= 0.0) throw std::invalid_argument("solve_gm1: arrival_rate <= 0");
+
+    Gm1Result res;
+    res.utilization = arrival_rate / service_rate;
+    if (res.utilization >= 1.0) return res;  // unstable: report as-is
+
+    // Stability must be judged against the transform's OWN mean interarrival
+    // time E[A] = -A*'(0): a mixture with mass on zero-rate states (the
+    // rate-weighted HAP law) has E[A] slightly below 1/arrival_rate, so the
+    // G/M/1 root sigma hits 1 just before rho does. Estimate E[A] by a
+    // one-sided difference at 0.
+    {
+        const double eps = 1e-7 * service_rate;
+        const double mean_interarrival = (1.0 - transform(eps)) / eps;
+        if (service_rate * mean_interarrival <= 1.0 + 1e-9) return res;  // unstable
+    }
+
+    const auto g = [&](double sigma) {
+        return transform(service_rate * (1.0 - sigma));
+    };
+
+    numerics::RootOptions ropts;
+    ropts.tol = opts.tol;
+    ropts.max_iter = opts.max_iter;
+
+    std::optional<double> root;
+    if (opts.method == SigmaMethod::kPaperAveraging) {
+        root = numerics::damped_fixed_point(g, 0.5, ropts);
+    } else {
+        // sigma = 1 is always a root of g(s) - s; the queueing root is the
+        // unique one in (0, 1) when rho < 1. Bracket away from 1.
+        root = numerics::brent([&](double s) { return g(s) - s; }, 0.0,
+                               1.0 - 1e-12, ropts);
+        // Near saturation the bracket can degenerate (both endpoints same
+        // sign within rounding); the paper's averaging iteration still
+        // converges there, so fall back to it.
+        if (!root) root = numerics::damped_fixed_point(g, 0.5, ropts);
+    }
+    if (!root) throw std::runtime_error("solve_gm1: sigma iteration failed to converge");
+
+    res.sigma = *root;
+    res.stable = res.sigma < 1.0;
+    const double denom = service_rate * (1.0 - res.sigma);
+    res.mean_delay = 1.0 / denom;
+    res.mean_wait = res.sigma / denom;
+    res.mean_number = arrival_rate * res.mean_delay;
+    res.iterations = opts.max_iter;  // iteration count not exposed by solvers
+    return res;
+}
+
+double gm1_wait_cdf(double sigma, double service_rate, double y) {
+    if (y < 0.0) return 0.0;
+    return 1.0 - sigma * std::exp(-service_rate * (1.0 - sigma) * y);
+}
+
+}  // namespace hap::queueing

@@ -1,0 +1,45 @@
+// G/M/1 queue solved through the classical root equation
+//   sigma = A*(mu - mu*sigma),
+// where A*(s) is the Laplace-Stieltjes transform of the interarrival-time
+// law. This is the reduction the paper's Solutions 1 and 2 rely on. Both the
+// paper's damped "sigma-algorithm" and a bracketing solver are provided; they
+// must agree (tested), the bracketing form is simply more robust near
+// saturation.
+#pragma once
+
+#include <functional>
+
+namespace hap::queueing {
+
+enum class SigmaMethod {
+    kPaperAveraging,  // the paper's sigma-algorithm (damped fixed point)
+    kBracketing,      // Brent on f(sigma) = A*(mu(1-sigma)) - sigma
+};
+
+struct Gm1Options {
+    SigmaMethod method = SigmaMethod::kBracketing;
+    double tol = 1e-12;
+    int max_iter = 500;
+};
+
+struct Gm1Result {
+    double sigma = 0.0;       // probability an arrival finds the server busy
+    double mean_delay = 0.0;  // sojourn time 1 / (mu (1 - sigma))
+    double mean_wait = 0.0;   // sigma / (mu (1 - sigma))
+    double utilization = 0.0; // lambda / mu
+    double mean_number = 0.0; // via Little: lambda * mean_delay
+    bool stable = false;
+    int iterations = 0;
+};
+
+// `transform` evaluates A*(s) for s >= 0; `service_rate` is mu;
+// `arrival_rate` is the mean arrival rate (1 / mean interarrival), used only
+// for utilization and Little's law.
+Gm1Result solve_gm1(const std::function<double(double)>& transform,
+                    double service_rate, double arrival_rate,
+                    const Gm1Options& opts = {});
+
+// Waiting-time CDF of G/M/1: W(y) = 1 - sigma e^{-mu (1 - sigma) y}.
+double gm1_wait_cdf(double sigma, double service_rate, double y);
+
+}  // namespace hap::queueing

@@ -1,0 +1,129 @@
+#include "queueing/multiclass_sim.hpp"
+
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace hap::queueing {
+
+namespace {
+
+struct PendingArrival {
+    double time;
+    std::size_t cls;
+    bool operator>(const PendingArrival& o) const noexcept { return time > o.time; }
+};
+
+struct QueuedJob {
+    double arrival;
+    std::size_t cls;
+};
+
+}  // namespace
+
+MulticlassResult simulate_multiclass_queue(std::vector<TrafficClass> classes,
+                                           sim::RandomStream& rng,
+                                           const MulticlassOptions& opts) {
+    if (classes.empty())
+        throw std::invalid_argument("simulate_multiclass_queue: no classes");
+    for (const TrafficClass& c : classes)
+        if (c.source == nullptr || c.service == nullptr)
+            throw std::invalid_argument("simulate_multiclass_queue: null source/service");
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    MulticlassResult res;
+    res.number = stats::TimeWeightedStats(opts.warmup, 0.0);
+    res.busy = stats::BusyPeriodTracker(opts.warmup);
+    res.per_class.resize(classes.size());
+    for (std::size_t i = 0; i < classes.size(); ++i) res.per_class[i].name = classes[i].name;
+
+    // Merge the class streams on the fly.
+    std::priority_queue<PendingArrival, std::vector<PendingArrival>, std::greater<>> next;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        const double t = classes[i].source->next(rng);
+        if (t < kInf) next.push(PendingArrival{t, i});
+    }
+
+    // One deque per class keeps both disciplines O(1): FIFO picks the
+    // earliest head across classes, priority picks the lowest class index.
+    std::vector<std::deque<QueuedJob>> queues(classes.size());
+    std::size_t in_system = 0;
+    bool serving = false;
+    std::size_t serving_cls = 0;
+    double next_departure = kInf;
+    double service_start_wait = 0.0;
+    double now = 0.0;
+
+    const auto pick_next = [&]() -> std::size_t {
+        if (opts.discipline == Discipline::kPriority) {
+            for (std::size_t i = 0; i < queues.size(); ++i)
+                if (!queues[i].empty()) return i;
+        } else {
+            double best = kInf;
+            std::size_t best_i = 0;
+            for (std::size_t i = 0; i < queues.size(); ++i)
+                if (!queues[i].empty() && queues[i].front().arrival < best) {
+                    best = queues[i].front().arrival;
+                    best_i = i;
+                }
+            return best_i;
+        }
+        return 0;  // unreachable: callers check in_system > 0
+    };
+
+    const auto start_service = [&] {
+        serving_cls = pick_next();
+        serving = true;
+        service_start_wait = now - queues[serving_cls].front().arrival;
+        next_departure = now + classes[serving_cls].service->sample(rng);
+    };
+
+    const auto on_change = [&](double t) {
+        if (t < opts.warmup) return;
+        res.number.update(t, static_cast<double>(in_system));
+        res.busy.observe(t, in_system);
+    };
+
+    while (true) {
+        const double ta = next.empty() ? kInf : next.top().time;
+        const bool arrival_first = ta <= next_departure;
+        const double t = arrival_first ? ta : next_departure;
+        if (t >= opts.horizon || t == kInf) break;
+        now = t;
+
+        if (arrival_first) {
+            const std::size_t cls = next.top().cls;
+            next.pop();
+            queues[cls].push_back(QueuedJob{now, cls});
+            ++in_system;
+            if (!serving) start_service();
+            if (now >= opts.warmup) ++res.per_class[cls].arrivals;
+            on_change(now);
+            const double tn = classes[cls].source->next(rng);
+            if (tn < kInf) next.push(PendingArrival{tn, cls});
+        } else {
+            const QueuedJob job = queues[serving_cls].front();
+            queues[serving_cls].pop_front();
+            --in_system;
+            if (job.arrival >= opts.warmup) {
+                const double sojourn = now - job.arrival;
+                res.delay.add(sojourn);
+                res.per_class[job.cls].delay.add(sojourn);
+                res.per_class[job.cls].wait.add(service_start_wait);
+                ++res.per_class[job.cls].departures;
+            }
+            serving = false;
+            next_departure = kInf;
+            if (in_system > 0) start_service();
+            on_change(now);
+        }
+    }
+
+    res.number.finish(opts.horizon);
+    res.busy.finish(opts.horizon);
+    res.utilization = res.busy.busy_fraction();
+    return res;
+}
+
+}  // namespace hap::queueing

@@ -1,0 +1,61 @@
+// Multiplexing several tagged arrival streams into one FIFO server with
+// per-class statistics. This is the paper's Section-7 "in-progress" study —
+// the effect of multiplexing HAPs with non-HAP (e.g. real-time Poisson)
+// traffic — and backs the Section-6 advice that less-bursty applications
+// "suffer a lot" when sharing a channel with HAP traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/distributions.hpp"
+#include "sim/rng.hpp"
+#include "stats/busy_period.hpp"
+#include "stats/online_stats.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace hap::queueing {
+
+struct TrafficClass {
+    traffic::ArrivalProcess* source = nullptr;  // non-owning; must outlive the call
+    const sim::Distribution* service = nullptr; // non-owning
+    std::string name;
+};
+
+enum class Discipline {
+    kFifo,      // one shared queue, arrival order
+    kPriority,  // non-preemptive priority; class 0 is served first
+};
+
+struct MulticlassOptions {
+    double horizon = 1e6;
+    double warmup = 0.0;
+    Discipline discipline = Discipline::kFifo;
+};
+
+struct ClassStats {
+    std::string name;
+    stats::OnlineStats delay;
+    stats::OnlineStats wait;
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+};
+
+struct MulticlassResult {
+    std::vector<ClassStats> per_class;
+    stats::OnlineStats delay;  // all classes pooled
+    stats::TimeWeightedStats number;
+    stats::BusyPeriodTracker busy{0.0};
+    double utilization = 0.0;
+};
+
+// Shared-server multiplexer. FIFO serves all classes in arrival order (no
+// isolation — the regime the paper warns about); kPriority gives class 0
+// non-preemptive precedence, the simplest remedy for protecting a real-time
+// class from HAP bursts.
+MulticlassResult simulate_multiclass_queue(std::vector<TrafficClass> classes,
+                                           sim::RandomStream& rng,
+                                           const MulticlassOptions& opts = {});
+
+}  // namespace hap::queueing

@@ -1,0 +1,51 @@
+// Single-server FIFO queue simulation kernel, driven by any ArrivalProcess
+// and any service-time Distribution. Used for every baseline comparison
+// (M/M/1, on-off/M/1, MMPP/M/1, packet-train/M/1); the HAP-specific fast
+// path lives in core/hap_sim.hpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/distributions.hpp"
+#include "sim/rng.hpp"
+#include "stats/busy_period.hpp"
+#include "stats/online_stats.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace hap::queueing {
+
+struct QueueSimOptions {
+    double horizon = 1e6;   // model-time end of observation
+    double warmup = 0.0;    // statistics discarded before this time
+    // Buffer capacity including the job in service; 0 = infinite. Arrivals
+    // to a full system are dropped and counted in QueueSimResult::losses.
+    std::size_t buffer_capacity = 0;
+    bool record_delays = false;         // keep per-message sojourn times
+    bool record_arrival_times = false;  // keep arrival instants (IDC etc.)
+    // Called on every number-in-system change (after warmup): (time, n).
+    std::function<void(double, std::uint64_t)> on_change;
+};
+
+struct QueueSimResult {
+    stats::OnlineStats delay;           // sojourn times
+    stats::OnlineStats wait;            // queueing times (excluding service)
+    stats::TimeWeightedStats number;    // number in system over time
+    stats::BusyPeriodTracker busy{0.0};
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+    std::uint64_t losses = 0;  // drops at a full finite buffer (post-warmup)
+    double horizon = 0.0;
+    double utilization = 0.0;           // fraction of time server busy
+    std::vector<double> delays;         // iff record_delays
+    std::vector<double> arrival_times;  // iff record_arrival_times
+};
+
+QueueSimResult simulate_queue(traffic::ArrivalProcess& arrivals,
+                              const sim::Distribution& service,
+                              sim::RandomStream& rng,
+                              const QueueSimOptions& opts = {});
+
+}  // namespace hap::queueing

@@ -1,0 +1,45 @@
+#include "sim/distributions.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace hap::sim {
+
+HyperExponential::HyperExponential(std::vector<double> probs, std::vector<double> rates)
+    : probs_(std::move(probs)), rates_(std::move(rates)) {
+    if (probs_.empty() || probs_.size() != rates_.size())
+        throw std::invalid_argument("HyperExponential: size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < probs_.size(); ++i) {
+        if (probs_[i] < 0.0 || rates_[i] <= 0.0)
+            throw std::invalid_argument("HyperExponential: bad component");
+        total += probs_[i];
+    }
+    if (std::abs(total - 1.0) > 1e-9)
+        throw std::invalid_argument("HyperExponential: probabilities must sum to 1");
+}
+
+double HyperExponential::sample(RandomStream& rng) const {
+    double u = rng.uniform();
+    for (std::size_t i = 0; i < probs_.size(); ++i) {
+        if (u < probs_[i] || i + 1 == probs_.size()) return rng.exponential(rates_[i]);
+        u -= probs_[i];
+    }
+    return rng.exponential(rates_.back());
+}
+
+double HyperExponential::mean() const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < probs_.size(); ++i) m += probs_[i] / rates_[i];
+    return m;
+}
+
+double HyperExponential::variance() const {
+    double m = mean();
+    double m2 = 0.0;
+    for (std::size_t i = 0; i < probs_.size(); ++i)
+        m2 += 2.0 * probs_[i] / (rates_[i] * rates_[i]);
+    return m2 - m * m;
+}
+
+}  // namespace hap::sim

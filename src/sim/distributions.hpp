@@ -1,0 +1,104 @@
+// Sampleable holding/service-time distributions for the instance-level HAP
+// simulator. The paper's analysis assumes exponential parameters throughout;
+// the simulator also accepts the alternatives below so the exponential
+// assumption itself can be probed (a "future work" direction in the paper).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hap::sim {
+
+class Distribution {
+public:
+    virtual ~Distribution() = default;
+    virtual double sample(RandomStream& rng) const = 0;
+    virtual double mean() const = 0;
+    virtual double variance() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+class Exponential final : public Distribution {
+public:
+    explicit Exponential(double rate) : rate_(rate) {
+        if (rate <= 0.0) throw std::invalid_argument("Exponential: rate <= 0");
+    }
+    double sample(RandomStream& rng) const override { return rng.exponential(rate_); }
+    double mean() const override { return 1.0 / rate_; }
+    double variance() const override { return 1.0 / (rate_ * rate_); }
+    double rate() const noexcept { return rate_; }
+
+private:
+    double rate_;
+};
+
+class Deterministic final : public Distribution {
+public:
+    explicit Deterministic(double value) : value_(value) {
+        if (value < 0.0) throw std::invalid_argument("Deterministic: negative value");
+    }
+    double sample(RandomStream&) const override { return value_; }
+    double mean() const override { return value_; }
+    double variance() const override { return 0.0; }
+
+private:
+    double value_;
+};
+
+class Uniform final : public Distribution {
+public:
+    Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+        if (!(hi >= lo) || lo < 0.0) throw std::invalid_argument("Uniform: bad range");
+    }
+    double sample(RandomStream& rng) const override { return rng.uniform(lo_, hi_); }
+    double mean() const override { return 0.5 * (lo_ + hi_); }
+    double variance() const override { return (hi_ - lo_) * (hi_ - lo_) / 12.0; }
+
+private:
+    double lo_, hi_;
+};
+
+// Sum of k exponential phases (SCV = 1/k < 1).
+class Erlang final : public Distribution {
+public:
+    Erlang(int k, double phase_rate) : k_(k), rate_(phase_rate) {
+        if (k < 1 || phase_rate <= 0.0) throw std::invalid_argument("Erlang: bad params");
+    }
+    double sample(RandomStream& rng) const override {
+        double total = 0.0;
+        for (int i = 0; i < k_; ++i) total += rng.exponential(rate_);
+        return total;
+    }
+    double mean() const override { return k_ / rate_; }
+    double variance() const override { return k_ / (rate_ * rate_); }
+
+private:
+    int k_;
+    double rate_;
+};
+
+// Probabilistic mixture of exponentials (SCV > 1).
+class HyperExponential final : public Distribution {
+public:
+    HyperExponential(std::vector<double> probs, std::vector<double> rates);
+    double sample(RandomStream& rng) const override;
+    double mean() const override;
+    double variance() const override;
+
+private:
+    std::vector<double> probs_;
+    std::vector<double> rates_;
+};
+
+inline DistributionPtr exponential(double rate) {
+    return std::make_shared<Exponential>(rate);
+}
+inline DistributionPtr deterministic(double v) {
+    return std::make_shared<Deterministic>(v);
+}
+
+}  // namespace hap::sim

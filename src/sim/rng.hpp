@@ -1,0 +1,56 @@
+// Random-number streams for simulation. Each stochastic component gets its
+// own stream, derived from a master seed with SplitMix64, so results are
+// reproducible and components are statistically independent.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hap::sim {
+
+// SplitMix64 step; used to derive independent substream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d4a7c15f4a7c15ULL;
+    return z ^ (z >> 31);
+}
+
+class RandomStream {
+public:
+    explicit RandomStream(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+    // Derive a reproducible child stream; distinct calls yield distinct seeds.
+    RandomStream fork() {
+        std::uint64_t s = engine_();
+        return RandomStream(splitmix64(s));
+    }
+
+    double uniform() { return uniform_(engine_); }  // U(0,1)
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    // Exponential with given rate (mean 1/rate).
+    double exponential(double rate) {
+        // Inversion keeps one draw per variate and is monotone in the
+        // underlying uniform, which helps common-random-number comparisons.
+        return -std::log1p(-uniform()) / rate;
+    }
+
+    bool bernoulli(double p) { return uniform() < p; }
+
+    std::uint64_t next_u64() { return engine_(); }
+
+    // Integer in [0, n).
+    std::uint64_t below(std::uint64_t n) {
+        return static_cast<std::uint64_t>(uniform() * static_cast<double>(n)) % n;
+    }
+
+    std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+    std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace hap::sim

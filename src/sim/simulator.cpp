@@ -1,0 +1,67 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace hap::sim {
+
+EventId Simulator::schedule(double delay, Action action) {
+    if (delay < 0.0) throw std::invalid_argument("Simulator::schedule: negative delay");
+    return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(double time, Action action) {
+    if (time < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+    const EventId id = next_id_++;
+    heap_.push(Entry{time, id});
+    actions_.emplace(id, std::move(action));
+    return id;
+}
+
+bool Simulator::cancel(EventId id) { return actions_.erase(id) > 0; }
+
+bool Simulator::pop_next(Entry& out) {
+    while (!heap_.empty()) {
+        const Entry top = heap_.top();
+        heap_.pop();
+        if (actions_.find(top.id) != actions_.end()) {
+            out = top;
+            return true;
+        }
+        // Cancelled entry: skip lazily.
+    }
+    return false;
+}
+
+void Simulator::run_until(double until) {
+    stopped_ = false;
+    Entry e{};
+    while (!stopped_ && pop_next(e)) {
+        if (e.time >= until) {
+            // Put it back; it belongs to a later epoch.
+            heap_.push(e);
+            break;
+        }
+        now_ = e.time;
+        auto it = actions_.find(e.id);
+        Action action = std::move(it->second);
+        actions_.erase(it);
+        ++processed_;
+        action();
+    }
+    if (!stopped_ && now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+    stopped_ = false;
+    Entry e{};
+    while (!stopped_ && pop_next(e)) {
+        now_ = e.time;
+        auto it = actions_.find(e.id);
+        Action action = std::move(it->second);
+        actions_.erase(it);
+        ++processed_;
+        action();
+    }
+}
+
+}  // namespace hap::sim

@@ -1,0 +1,63 @@
+// Event-driven simulation kernel: a simulation clock plus a time-ordered
+// event calendar with O(log n) insert/extract and lazy cancellation.
+// Ties are broken by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace hap::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+public:
+    using Action = std::function<void()>;
+
+    double now() const noexcept { return now_; }
+    std::uint64_t events_processed() const noexcept { return processed_; }
+    std::size_t pending() const noexcept { return actions_.size(); }
+
+    // Schedule `action` to run `delay` time units from now (delay >= 0).
+    EventId schedule(double delay, Action action);
+    // Schedule at an absolute time >= now().
+    EventId schedule_at(double time, Action action);
+
+    // Cancel a pending event. Safe to call with an already-fired or invalid
+    // id; returns whether a pending event was actually cancelled.
+    bool cancel(EventId id);
+
+    // Run until the calendar is empty, `until` is reached, or stop() is
+    // called. Events scheduled exactly at `until` do not run; the clock is
+    // advanced to `until` on return.
+    void run_until(double until);
+    // Run until the calendar drains or stop() is called.
+    void run();
+    // Request termination from within an event handler.
+    void stop() noexcept { stopped_ = true; }
+    bool stopped() const noexcept { return stopped_; }
+
+private:
+    struct Entry {
+        double time;
+        EventId id;
+        bool operator>(const Entry& o) const noexcept {
+            return time > o.time || (time == o.time && id > o.id);
+        }
+    };
+
+    bool pop_next(Entry& out);
+
+    double now_ = 0.0;
+    EventId next_id_ = 1;
+    std::uint64_t processed_ = 0;
+    bool stopped_ = false;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_map<EventId, Action> actions_;
+};
+
+}  // namespace hap::sim

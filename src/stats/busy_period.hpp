@@ -1,0 +1,48 @@
+// Busy/idle-period decomposition of a queue-length sample path, reproducing
+// the "mountain" statistics of the paper's Figure 18: lengths and heights of
+// busy periods, lengths of idle periods, and their variances.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/online_stats.hpp"
+
+namespace hap::stats {
+
+class BusyPeriodTracker {
+public:
+    // The system starts empty at `start_time`.
+    explicit BusyPeriodTracker(double start_time = 0.0) noexcept
+        : last_event_time_(start_time), period_start_(start_time) {}
+
+    // Report every change of the number-in-system. Times must be
+    // nondecreasing; `n` is the value AFTER the transition.
+    void observe(double time, std::uint64_t n) noexcept;
+
+    // Close the observation window; a busy period still in progress is
+    // discarded (not counted) to avoid censoring bias, but the preceding idle
+    // time is kept.
+    void finish(double time) noexcept;
+
+    const OnlineStats& busy_lengths() const noexcept { return busy_; }
+    const OnlineStats& idle_lengths() const noexcept { return idle_; }
+    const OnlineStats& heights() const noexcept { return heights_; }
+    std::uint64_t mountains() const noexcept { return busy_.count(); }
+    // Long-run fraction of time the server is busy (counts the open period).
+    double busy_fraction() const noexcept;
+
+private:
+    void close_idle(double time) noexcept;
+
+    OnlineStats busy_;
+    OnlineStats idle_;
+    OnlineStats heights_;
+    double last_event_time_;
+    double period_start_;
+    double busy_time_total_ = 0.0;
+    double observed_total_ = 0.0;
+    bool in_busy_ = false;
+    std::uint64_t current_height_ = 0;
+};
+
+}  // namespace hap::stats

@@ -1,0 +1,61 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hap::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(hi > lo)) throw std::invalid_argument("Histogram: hi <= lo");
+    if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+    counts_.assign(bins, 0);
+    width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // guard fp rounding
+    ++counts_[idx];
+}
+
+double Histogram::bin_lower(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_center(std::size_t i) const noexcept {
+    return bin_lower(i) + 0.5 * width_;
+}
+
+double Histogram::density(std::size_t i) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(bin_count(i)) /
+           (static_cast<double>(total_) * width_);
+}
+
+double Histogram::quantile(double q) const {
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::quantile: q out of range");
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (target <= next && counts_[i] > 0) {
+            const double frac = (target - cum) / static_cast<double>(counts_[i]);
+            return bin_lower(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+}  // namespace hap::stats

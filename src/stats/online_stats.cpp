@@ -1,0 +1,58 @@
+#include "stats/online_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hap::stats {
+
+void OnlineStats::add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::scv() const noexcept {
+    const double m = mean();
+    return m != 0.0 ? variance() / (m * m) : 0.0;
+}
+
+void TimeWeightedStats::update(double time, double new_value) noexcept {
+    const double dt = time - last_time_;
+    if (dt > 0.0) {
+        area_ += value_ * dt;
+        area2_ += value_ * value_ * dt;
+        total_time_ += dt;
+    }
+    last_time_ = time;
+    value_ = new_value;
+    max_ = std::max(max_, new_value);
+}
+
+double TimeWeightedStats::variance() const noexcept {
+    const double m = mean();
+    return std::max(0.0, second_moment() - m * m);
+}
+
+}  // namespace hap::stats

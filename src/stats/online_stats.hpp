@@ -1,0 +1,72 @@
+// Streaming summary statistics: Welford mean/variance, min/max, and
+// time-weighted averages for piecewise-constant signals such as queue length.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hap::stats {
+
+// Numerically stable single-pass mean/variance (Welford's algorithm).
+class OnlineStats {
+public:
+    void add(double x) noexcept;
+    void merge(const OnlineStats& other) noexcept;
+
+    std::uint64_t count() const noexcept { return n_; }
+    double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    // Population variance (divides by n); matches the long-run variance a
+    // simulation estimates.
+    double variance() const noexcept { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+    // Unbiased sample variance (divides by n-1).
+    double sample_variance() const noexcept {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    double stddev() const noexcept;
+    double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+    double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+    double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+    // Coefficient of variation squared; the standard burstiness summary for
+    // interarrival samples (1 for exponential).
+    double scv() const noexcept;
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Time average of a piecewise-constant signal: feed (time, new_value) change
+// points in nondecreasing time order; the signal holds its previous value on
+// [prev_time, time).
+class TimeWeightedStats {
+public:
+    explicit TimeWeightedStats(double start_time = 0.0, double start_value = 0.0) noexcept
+        : last_time_(start_time), value_(start_value) {}
+
+    void update(double time, double new_value) noexcept;
+    // Close the observation window at `time` without changing the value.
+    void finish(double time) noexcept { update(time, value_); }
+
+    double elapsed() const noexcept { return total_time_; }
+    double mean() const noexcept { return total_time_ > 0.0 ? area_ / total_time_ : 0.0; }
+    // Time-weighted second moment and variance.
+    double second_moment() const noexcept {
+        return total_time_ > 0.0 ? area2_ / total_time_ : 0.0;
+    }
+    double variance() const noexcept;
+    double current_value() const noexcept { return value_; }
+    double max() const noexcept { return max_; }
+
+private:
+    double last_time_;
+    double value_;
+    double total_time_ = 0.0;
+    double area_ = 0.0;
+    double area2_ = 0.0;
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hap::stats

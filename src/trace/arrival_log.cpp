@@ -1,0 +1,55 @@
+#include "trace/arrival_log.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace hap::trace {
+
+void write_arrival_trace(const std::string& path, std::span<const double> times,
+                         const std::string& comment) {
+    for (std::size_t i = 1; i < times.size(); ++i)
+        if (times[i] < times[i - 1])
+            throw std::invalid_argument("write_arrival_trace: times not sorted");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_arrival_trace: cannot open " + path);
+    if (!comment.empty()) out << "# " << comment << '\n';
+    out << "# arrival-trace v1, " << times.size() << " events\n";
+    out.precision(15);
+    for (double t : times) out << t << '\n';
+    if (!out) throw std::runtime_error("write_arrival_trace: write failed on " + path);
+}
+
+std::vector<double> read_arrival_trace(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_arrival_trace: cannot open " + path);
+    std::vector<double> times;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        times.push_back(std::stod(line));
+        if (times.size() >= 2 && times.back() < times[times.size() - 2])
+            throw std::runtime_error("read_arrival_trace: unsorted trace in " + path);
+    }
+    return times;
+}
+
+TraceReplaySource::TraceReplaySource(std::vector<double> times)
+    : times_(std::move(times)) {
+    for (std::size_t i = 1; i < times_.size(); ++i)
+        if (times_[i] < times_[i - 1])
+            throw std::invalid_argument("TraceReplaySource: times not sorted");
+}
+
+double TraceReplaySource::next(sim::RandomStream&) {
+    if (index_ >= times_.size()) return std::numeric_limits<double>::infinity();
+    return times_[index_++];
+}
+
+double TraceReplaySource::mean_rate() const {
+    if (times_.size() < 2) return 0.0;
+    const double span = times_.back() - times_.front();
+    return span > 0.0 ? static_cast<double>(times_.size() - 1) / span : 0.0;
+}
+
+}  // namespace hap::trace

@@ -1,0 +1,29 @@
+#include "trace/csv.hpp"
+
+#include <stdexcept>
+
+namespace hap::trace {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << columns[i];
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::row(std::span<const double> values) {
+    if (values.size() != columns_)
+        throw std::invalid_argument("CsvWriter::row: column count mismatch");
+    out_.precision(12);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+}
+
+}  // namespace hap::trace

@@ -1,0 +1,26 @@
+// Minimal CSV emission for benchmark/replication artifacts. Writers are
+// deliberately dumb: a header row plus numeric rows, locale-independent.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hap::trace {
+
+class CsvWriter {
+public:
+    // Throws std::runtime_error if the file cannot be opened.
+    CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+    void row(std::span<const double> values);
+    const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+}  // namespace hap::trace

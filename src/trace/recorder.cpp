@@ -1,0 +1,35 @@
+#include "trace/recorder.hpp"
+
+namespace hap::trace {
+
+void SeriesRecorder::record(double time, double value) {
+    if (value > max_value_) {
+        max_value_ = value;
+        time_of_max_ = time;
+    }
+    if (resolution_ <= 0.0) {
+        points_.push_back(TimePoint{time, value});
+        return;
+    }
+    if (!has_pending_) {
+        window_start_ = time;
+        pending_peak_ = TimePoint{time, value};
+        has_pending_ = true;
+        return;
+    }
+    if (value >= pending_peak_.value) pending_peak_ = TimePoint{time, value};
+    if (time - window_start_ >= resolution_) {
+        points_.push_back(pending_peak_);
+        window_start_ = time;
+        pending_peak_ = TimePoint{time, value};
+    }
+}
+
+void SeriesRecorder::finish() {
+    if (has_pending_ && resolution_ > 0.0) {
+        points_.push_back(pending_peak_);
+        has_pending_ = false;
+    }
+}
+
+}  // namespace hap::trace

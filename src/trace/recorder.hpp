@@ -1,0 +1,42 @@
+// On-change time-series recorder with coalescing. Long simulations produce
+// hundreds of millions of queue-length changes; the recorder keeps the series
+// plottable by sampling at a minimum time resolution while always retaining
+// local maxima (so congestion "mountains" keep their true peaks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hap::trace {
+
+struct TimePoint {
+    double time;
+    double value;
+};
+
+class SeriesRecorder {
+public:
+    // `resolution`: minimum spacing between retained points; 0 keeps all.
+    explicit SeriesRecorder(double resolution = 0.0) noexcept
+        : resolution_(resolution) {}
+
+    void record(double time, double value);
+    // Flush the pending peak (call once after the final record).
+    void finish();
+
+    const std::vector<TimePoint>& points() const noexcept { return points_; }
+    std::size_t size() const noexcept { return points_.size(); }
+    double max_value() const noexcept { return max_value_; }
+    double time_of_max() const noexcept { return time_of_max_; }
+
+private:
+    double resolution_;
+    std::vector<TimePoint> points_;
+    bool has_pending_ = false;
+    TimePoint pending_peak_{0.0, 0.0};
+    double window_start_ = 0.0;
+    double max_value_ = 0.0;
+    double time_of_max_ = 0.0;
+};
+
+}  // namespace hap::trace

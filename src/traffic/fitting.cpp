@@ -1,0 +1,33 @@
+#include "traffic/fitting.hpp"
+
+#include <stdexcept>
+
+#include "stats/series.hpp"
+
+namespace hap::traffic {
+
+StreamMoments measure_moments(std::span<const double> arrival_times,
+                              double idc_window) {
+    if (arrival_times.size() < 100)
+        throw std::invalid_argument("measure_moments: trace too short");
+    StreamMoments m;
+    const double span = arrival_times.back() - arrival_times.front();
+    if (span <= 0.0) throw std::invalid_argument("measure_moments: zero-length trace");
+    m.mean_rate = static_cast<double>(arrival_times.size() - 1) / span;
+    m.interarrival_scv = stats::interarrival_scv(arrival_times);
+    if (idc_window <= 0.0) idc_window = span / 20.0;
+    m.idc = stats::index_of_dispersion(arrival_times, idc_window);
+    return m;
+}
+
+OnOffSource fit_onoff(double mean_rate, double idc, double duty) {
+    if (mean_rate <= 0.0) throw std::invalid_argument("fit_onoff: mean_rate <= 0");
+    if (idc <= 1.0)
+        throw std::invalid_argument("fit_onoff: idc must exceed 1 (use Poisson instead)");
+    if (duty <= 0.0 || duty >= 1.0) throw std::invalid_argument("fit_onoff: duty in (0,1)");
+    const double peak = mean_rate / duty;
+    const double s = 2.0 * (1.0 - duty) * peak / (idc - 1.0);
+    return OnOffSource(/*on_rate=*/duty * s, /*off_rate=*/(1.0 - duty) * s, peak);
+}
+
+}  // namespace hap::traffic

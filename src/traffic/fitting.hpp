@@ -1,0 +1,37 @@
+// Traffic-model fitting by moment matching. The paper argues HAP against
+// measured traffic; this module closes the practical loop: estimate
+// second-order statistics from an arrival trace and fit the classical
+// parsimonious models — an on-off (interrupted Poisson) source, or a 2-level
+// HAP — that reproduce them. Fitting targets are the mean rate and the
+// asymptotic index of dispersion for counts (IDC), the standard burstiness
+// summary (Poisson = 1).
+// The HAP-shaped fit lives in core/hap_fit.hpp (core builds on traffic, not
+// the other way around).
+#pragma once
+
+#include <span>
+
+#include "traffic/onoff.hpp"
+
+namespace hap::traffic {
+
+struct StreamMoments {
+    double mean_rate = 0.0;
+    double interarrival_scv = 0.0;
+    double idc = 0.0;  // index of dispersion at the largest reliable window
+};
+
+// Empirical moments of a sorted arrival-time trace; `idc_window` defaults to
+// a twentieth of the trace span.
+StreamMoments measure_moments(std::span<const double> arrival_times,
+                              double idc_window = 0.0);
+
+// Fit an exponential on-off source with the given activity factor
+// ("duty", the fraction of time ON). Matches mean rate exactly and the
+// asymptotic IDC through the modulating time constant:
+//   peak = rate / duty,  s = 2 (1-duty) peak / (idc - 1),
+//   on_rate = duty * s,  off_rate = (1-duty) * s.
+// Requires idc > 1 and 0 < duty < 1.
+OnOffSource fit_onoff(double mean_rate, double idc, double duty);
+
+}  // namespace hap::traffic

@@ -1,0 +1,105 @@
+#include "traffic/mmpp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hap::traffic {
+
+Mmpp::Mmpp(numerics::Matrix generator, std::vector<double> rates,
+           std::size_t initial_state)
+    : q_(std::move(generator)),
+      rates_(std::move(rates)),
+      initial_state_(initial_state),
+      state_(initial_state) {
+    validate();
+}
+
+Mmpp Mmpp::two_state(double r01, double r10, double a0, double a1) {
+    numerics::Matrix q{{-r01, r01}, {r10, -r10}};
+    return Mmpp(std::move(q), {a0, a1});
+}
+
+void Mmpp::validate() const {
+    const std::size_t n = rates_.size();
+    if (n == 0) throw std::invalid_argument("Mmpp: empty rate vector");
+    if (q_.rows() != n || q_.cols() != n)
+        throw std::invalid_argument("Mmpp: generator shape mismatch");
+    if (initial_state_ >= n) throw std::invalid_argument("Mmpp: bad initial state");
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rates_[i] < 0.0) throw std::invalid_argument("Mmpp: negative arrival rate");
+        double row = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i != j && q_(i, j) < 0.0)
+                throw std::invalid_argument("Mmpp: negative off-diagonal in Q");
+            row += q_(i, j);
+        }
+        if (std::abs(row) > 1e-9)
+            throw std::invalid_argument("Mmpp: generator rows must sum to 0");
+    }
+}
+
+double Mmpp::next(sim::RandomStream& rng) {
+    const std::size_t n = rates_.size();
+    for (;;) {
+        const double exit_rate = -q_(state_, state_);
+        const double total = rates_[state_] + exit_rate;
+        if (total <= 0.0) return std::numeric_limits<double>::infinity();
+        time_ += rng.exponential(total);
+        if (rng.uniform() * total < rates_[state_]) return time_;
+        // Phase transition: pick the destination proportionally.
+        double u = rng.uniform() * exit_rate;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (k == state_) continue;
+            u -= q_(state_, k);
+            if (u <= 0.0) {
+                state_ = k;
+                break;
+            }
+        }
+    }
+}
+
+double Mmpp::mean_rate() const {
+    const std::vector<double>& pi = stationary();
+    return std::inner_product(pi.begin(), pi.end(), rates_.begin(), 0.0);
+}
+
+void Mmpp::reset() {
+    time_ = 0.0;
+    state_ = initial_state_;
+}
+
+const std::vector<double>& Mmpp::stationary() const {
+    if (!stationary_.empty()) return stationary_;
+    const std::size_t n = rates_.size();
+    // Solve pi Q = 0 with normalization: replace the last column of Q^T by
+    // ones and solve A pi = e_n.
+    numerics::Matrix a = q_.transposed();
+    for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+    std::vector<double> b(n, 0.0);
+    b[n - 1] = 1.0;
+    stationary_ = numerics::solve(a, b);
+    return stationary_;
+}
+
+double Mmpp::asymptotic_idc() const {
+    const std::size_t n = rates_.size();
+    const std::vector<double>& pi = stationary();
+    const double lbar = mean_rate();
+    if (lbar <= 0.0) return 0.0;
+    // Fundamental matrix Z = (e*pi - Q)^{-1}; deviation matrix D = Z - e*pi.
+    numerics::Matrix epi(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) epi(i, j) = pi[j];
+    numerics::Matrix z = numerics::inverse(epi - q_);
+    numerics::Matrix d = z - epi;
+    // IDC(inf) = 1 + (2 / lbar) * sum_i pi_i r_i * (D r)_i.
+    const std::vector<double> dr = d.apply(rates_);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += pi[i] * rates_[i] * dr[i];
+    return 1.0 + 2.0 * acc / lbar;
+}
+
+}  // namespace hap::traffic

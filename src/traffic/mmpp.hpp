@@ -1,0 +1,54 @@
+// General N-state Markov-modulated Poisson process. The paper shows a HAP is
+// an infinite-state MMPP; this class is the finite (truncated) form used both
+// as a substrate for the analytic solutions and as a standalone generator.
+#pragma once
+
+#include <vector>
+
+#include "numerics/matrix.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace hap::traffic {
+
+class Mmpp final : public ArrivalProcess {
+public:
+    // `generator`: CTMC generator matrix Q (rows sum to 0, off-diagonals
+    // >= 0). `rates`: Poisson arrival rate in each modulating state.
+    Mmpp(numerics::Matrix generator, std::vector<double> rates,
+         std::size_t initial_state = 0);
+
+    // Classical two-state MMPP (a.k.a. switched Poisson process), the
+    // approximation used by Heffes-Lucantoni for voice/data multiplexers:
+    // sojourn rates r01 (state0 -> state1), r10, and arrival rates a0, a1.
+    static Mmpp two_state(double r01, double r10, double a0, double a1);
+
+    double next(sim::RandomStream& rng) override;
+    double mean_rate() const override;
+    void reset() override;
+
+    std::size_t num_states() const noexcept { return rates_.size(); }
+    const numerics::Matrix& generator() const noexcept { return q_; }
+    const std::vector<double>& rates() const noexcept { return rates_; }
+    std::size_t current_state() const noexcept { return state_; }
+
+    // Stationary distribution of the modulating chain (solves pi Q = 0,
+    // sum pi = 1).
+    const std::vector<double>& stationary() const;
+
+    // Index of dispersion for counts in the limit of infinite window; for an
+    // MMPP, IDC(inf) = 1 + 2 * (sum_i pi_i r_i d_i) / mean_rate where d
+    // solves the deviation equations. Poisson gives exactly 1.
+    double asymptotic_idc() const;
+
+private:
+    void validate() const;
+
+    numerics::Matrix q_;
+    std::vector<double> rates_;
+    std::size_t initial_state_;
+    std::size_t state_;
+    double time_ = 0.0;
+    mutable std::vector<double> stationary_;  // lazily computed
+};
+
+}  // namespace hap::traffic

@@ -1,0 +1,59 @@
+// Exponential on-off source: Poisson arrivals at `peak_rate` while ON,
+// silence while OFF. The paper identifies this as the 2-level, single
+// message-type special case of HAP; the equivalence is exercised in tests
+// and in examples/onoff_equivalence.cpp.
+#pragma once
+
+#include <stdexcept>
+
+#include "traffic/arrival_process.hpp"
+
+namespace hap::traffic {
+
+class OnOffSource final : public ArrivalProcess {
+public:
+    // on_rate: rate of leaving OFF (so mean OFF period = 1/on_rate);
+    // off_rate: rate of leaving ON; peak_rate: arrival rate while ON.
+    OnOffSource(double on_rate, double off_rate, double peak_rate, bool start_on = false)
+        : on_rate_(on_rate), off_rate_(off_rate), peak_rate_(peak_rate),
+          start_on_(start_on), on_(start_on) {
+        if (on_rate <= 0.0 || off_rate <= 0.0 || peak_rate <= 0.0)
+            throw std::invalid_argument("OnOffSource: rates must be positive");
+    }
+
+    double next(sim::RandomStream& rng) override {
+        for (;;) {
+            if (!on_) {
+                time_ += rng.exponential(on_rate_);
+                on_ = true;
+            }
+            const double total = peak_rate_ + off_rate_;
+            time_ += rng.exponential(total);
+            if (rng.uniform() * total < peak_rate_) return time_;
+            on_ = false;
+        }
+    }
+
+    // Long-run rate: P(on) * peak = [on_rate / (on_rate + off_rate)] * peak.
+    double mean_rate() const override {
+        return peak_rate_ * on_rate_ / (on_rate_ + off_rate_);
+    }
+
+    void reset() override {
+        time_ = 0.0;
+        on_ = start_on_;
+    }
+
+    double activity_factor() const noexcept { return on_rate_ / (on_rate_ + off_rate_); }
+    double peak_rate() const noexcept { return peak_rate_; }
+
+private:
+    double on_rate_;
+    double off_rate_;
+    double peak_rate_;
+    bool start_on_;
+    bool on_;
+    double time_ = 0.0;
+};
+
+}  // namespace hap::traffic

@@ -1,0 +1,57 @@
+// Packet-train source (Jain & Routhier 1986), the other classical alternative
+// to Poisson that the paper cites: train locomotives arrive Poisson, each
+// pulling a geometrically distributed number of cars with a fixed inter-car
+// gap. Included as a comparison baseline.
+#pragma once
+
+#include <stdexcept>
+
+#include "traffic/arrival_process.hpp"
+
+namespace hap::traffic {
+
+class PacketTrainSource final : public ArrivalProcess {
+public:
+    // train_rate: Poisson rate of train starts; continue_prob p: after each
+    // car, another follows with probability p (train length ~ Geometric,
+    // mean 1/(1-p)); intercar_gap: spacing between cars within a train.
+    PacketTrainSource(double train_rate, double continue_prob, double intercar_gap)
+        : train_rate_(train_rate), continue_prob_(continue_prob), gap_(intercar_gap) {
+        if (train_rate <= 0.0) throw std::invalid_argument("PacketTrainSource: rate <= 0");
+        if (continue_prob < 0.0 || continue_prob >= 1.0)
+            throw std::invalid_argument("PacketTrainSource: continue_prob outside [0,1)");
+        if (intercar_gap <= 0.0) throw std::invalid_argument("PacketTrainSource: gap <= 0");
+    }
+
+    double next(sim::RandomStream& rng) override {
+        if (in_train_ && rng.bernoulli(continue_prob_)) {
+            time_ += gap_;
+            return time_;
+        }
+        // Train over (or first call): wait for the next locomotive. The
+        // memoryless gap restarts from the last car's departure time.
+        time_ += rng.exponential(train_rate_);
+        in_train_ = true;
+        return time_;
+    }
+
+    double mean_rate() const override {
+        const double mean_len = 1.0 / (1.0 - continue_prob_);
+        const double cycle = 1.0 / train_rate_ + (mean_len - 1.0) * gap_;
+        return mean_len / cycle;
+    }
+
+    void reset() override {
+        time_ = 0.0;
+        in_train_ = false;
+    }
+
+private:
+    double train_rate_;
+    double continue_prob_;
+    double gap_;
+    double time_ = 0.0;
+    bool in_train_ = false;
+};
+
+}  // namespace hap::traffic

@@ -1,0 +1,29 @@
+// Homogeneous Poisson arrival stream: the paper's baseline traffic model.
+#pragma once
+
+#include <stdexcept>
+
+#include "traffic/arrival_process.hpp"
+
+namespace hap::traffic {
+
+class PoissonSource final : public ArrivalProcess {
+public:
+    explicit PoissonSource(double rate) : rate_(rate) {
+        if (rate <= 0.0) throw std::invalid_argument("PoissonSource: rate <= 0");
+    }
+
+    double next(sim::RandomStream& rng) override {
+        time_ += rng.exponential(rate_);
+        return time_;
+    }
+
+    double mean_rate() const override { return rate_; }
+    void reset() override { time_ = 0.0; }
+
+private:
+    double rate_;
+    double time_ = 0.0;
+};
+
+}  // namespace hap::traffic

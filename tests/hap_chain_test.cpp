@@ -1,0 +1,170 @@
+// Tests for the modulating-chain builders (Fig. 6/7 lattices) and their
+// steady states against the M/M/inf closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hap_chain.hpp"
+
+namespace {
+
+using hap::core::ChainBounds;
+using hap::core::GeneralChain;
+using hap::core::HapParams;
+using hap::core::LumpedChain;
+
+HapParams small_hap() {
+    // Fast mixing, small lattice: a = 2 users, c = 1 app per user.
+    return HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0, 1, 50.0);
+}
+
+TEST(ChainBounds, DefaultsRespectAdmissionBounds) {
+    HapParams p = HapParams::paper_baseline();
+    p.max_users = 12;
+    p.max_apps = 60;
+    const ChainBounds b = ChainBounds::defaults_for(p);
+    EXPECT_EQ(b.max_users, 12u);
+    EXPECT_EQ(b.max_apps_total, 60u);
+}
+
+TEST(ChainBounds, DefaultsCoverMassForBaseline) {
+    const HapParams p = HapParams::paper_baseline();
+    const ChainBounds b = ChainBounds::defaults_for(p);
+    EXPECT_GT(b.max_users, 20u);       // a = 5.5, needs >> mean
+    EXPECT_GT(b.max_apps_total, 100u); // worst-case mean apps is much higher
+}
+
+TEST(LumpedChainTest, IndexRoundTrip) {
+    const HapParams p = small_hap();
+    const LumpedChain chain(p, ChainBounds::defaults_for(p));
+    for (std::size_t x = chain.x_lo(); x <= chain.x_hi(); x += 3) {
+        for (std::size_t y = 0; y <= chain.y_hi(); y += 5) {
+            const std::size_t idx = chain.index(x, y);
+            EXPECT_EQ(chain.users_of(idx), x);
+            EXPECT_EQ(chain.apps_of(idx), y);
+        }
+    }
+    EXPECT_THROW(chain.index(chain.x_hi() + 1, 0), std::out_of_range);
+}
+
+TEST(LumpedChainTest, StationaryUserMarginalIsPoisson) {
+    const HapParams p = small_hap();
+    const LumpedChain chain(p, ChainBounds::defaults_for(p));
+    const auto res = chain.solve();
+    ASSERT_TRUE(res.converged);
+    // Marginal of x must be Poisson(a) with a = 2.
+    std::vector<double> px(chain.x_hi() + 1, 0.0);
+    for (std::size_t s = 0; s < chain.num_states(); ++s)
+        px[chain.users_of(s)] += res.pi[s];
+    const double a = p.mean_users();
+    EXPECT_NEAR(px[0], std::exp(-a), 1e-6);
+    EXPECT_NEAR(px[1] / px[0], a, 1e-5);
+    EXPECT_NEAR(px[2] / px[1], a / 2.0, 1e-5);
+}
+
+TEST(LumpedChainTest, StationaryMeansMatchClosedForm) {
+    const HapParams p = small_hap();
+    const LumpedChain chain(p, ChainBounds::defaults_for(p));
+    const auto res = chain.solve();
+    ASSERT_TRUE(res.converged);
+    double mean_rate = 0.0, mean_x = 0.0, mean_y = 0.0;
+    for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        mean_rate += res.pi[s] * chain.arrival_rates()[s];
+        mean_x += res.pi[s] * static_cast<double>(chain.users_of(s));
+        mean_y += res.pi[s] * static_cast<double>(chain.apps_of(s));
+    }
+    EXPECT_NEAR(mean_x, p.mean_users(), 1e-6);
+    EXPECT_NEAR(mean_y, p.mean_apps(), 1e-5);
+    EXPECT_NEAR(mean_rate, p.mean_message_rate(), 1e-4);
+}
+
+TEST(LumpedChainTest, PinnedUsersHaveNoUserTransitions) {
+    const HapParams p = HapParams::two_level(0.5, 0.5, 2.0, 50.0);
+    const LumpedChain chain(p, ChainBounds::defaults_for(p));
+    EXPECT_EQ(chain.x_lo(), 1u);
+    EXPECT_EQ(chain.x_hi(), 1u);
+    const auto res = chain.solve();
+    ASSERT_TRUE(res.converged);
+    // y ~ Poisson(1): P(0) = e^{-1}.
+    double p0 = 0.0;
+    for (std::size_t s = 0; s < chain.num_states(); ++s)
+        if (chain.apps_of(s) == 0) p0 += res.pi[s];
+    EXPECT_NEAR(p0, std::exp(-1.0), 1e-6);
+}
+
+TEST(GeneralChainTest, MatchesLumpedForHomogeneous) {
+    // For a homogeneous 2-type HAP the general chain's aggregate statistics
+    // must reproduce the lumped chain's.
+    const HapParams p = HapParams::homogeneous(0.5, 0.5, 0.3, 0.6, 2, 1.0, 1, 20.0);
+    ChainBounds gb;
+    gb.max_users = 8;
+    gb.max_apps_per_type = 8;
+    const GeneralChain general(p, gb);
+    ChainBounds lb;
+    lb.max_users = 8;
+    lb.max_apps_total = 16;
+    const LumpedChain lumped(p, lb);
+
+    const auto gres = general.solve();
+    const auto lres = lumped.solve();
+    ASSERT_TRUE(gres.converged);
+    ASSERT_TRUE(lres.converged);
+
+    double g_rate = 0.0, l_rate = 0.0;
+    for (std::size_t s = 0; s < general.num_states(); ++s)
+        g_rate += gres.pi[s] * general.arrival_rates()[s];
+    for (std::size_t s = 0; s < lumped.num_states(); ++s)
+        l_rate += lres.pi[s] * lumped.arrival_rates()[s];
+    // Per-type caps and the lumped total cap truncate slightly different
+    // corners of the lattice, so agreement is to truncation accuracy.
+    EXPECT_NEAR(g_rate, l_rate, 5e-4);
+    EXPECT_NEAR(g_rate, p.mean_message_rate(), 1e-3);
+}
+
+TEST(GeneralChainTest, DecodeRoundTrip) {
+    const HapParams p = HapParams::homogeneous(0.5, 0.5, 0.3, 0.6, 2, 1.0, 1, 20.0);
+    ChainBounds b;
+    b.max_users = 3;
+    b.max_apps_per_type = 4;
+    const GeneralChain chain(p, b);
+    EXPECT_EQ(chain.num_states(), 4u * 5u * 5u);
+    const auto coords = chain.decode(chain.num_states() - 1);
+    EXPECT_EQ(coords[0], 3u);
+    EXPECT_EQ(coords[1], 4u);
+    EXPECT_EQ(coords[2], 4u);
+}
+
+TEST(GeneralChainTest, RejectsExplodingStateSpace) {
+    const HapParams p = HapParams::paper_baseline();
+    ChainBounds b;
+    b.max_users = 50;
+    b.max_apps_per_type = 60;  // 51 * 61^5 states: must refuse
+    EXPECT_THROW(GeneralChain(p, b), std::invalid_argument);
+}
+
+TEST(DenseGenerator, RowsSumToZero) {
+    const HapParams p = small_hap();
+    ChainBounds b;
+    b.max_users = 6;
+    b.max_apps_total = 12;
+    const LumpedChain chain(p, b);
+    const auto q = chain.dense_generator();
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < q.cols(); ++j) row += q(i, j);
+        EXPECT_NEAR(row, 0.0, 1e-12);
+    }
+}
+
+TEST(ToMmpp, MeanRateMatchesChain) {
+    const HapParams p = small_hap();
+    ChainBounds b;
+    b.max_users = 8;
+    b.max_apps_total = 20;
+    const LumpedChain chain(p, b);
+    const auto mmpp = chain.to_mmpp();
+    EXPECT_NEAR(mmpp.mean_rate(), p.mean_message_rate(), 0.02);
+    EXPECT_GT(mmpp.asymptotic_idc(), 1.0);  // HAP is burstier than Poisson
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Unit tests for HapParams: factories, derived quantities, validation.
+#include <gtest/gtest.h>
+
+#include "core/hap_params.hpp"
+
+namespace {
+
+using hap::core::ApplicationType;
+using hap::core::HapParams;
+using hap::core::MessageType;
+
+TEST(HapParams, PaperBaselineDerivedQuantities) {
+    const HapParams p = HapParams::paper_baseline(20.0);
+    // Section 4: lambda-bar = (0.0055/0.001)(0.01/0.01) * 0.1 * 5 * 3 = 8.25.
+    EXPECT_NEAR(p.mean_users(), 5.5, 1e-12);
+    EXPECT_NEAR(p.mean_apps(), 27.5, 1e-12);  // paper Fig. 16/17: averages 5.5 / 27.5
+    EXPECT_NEAR(p.mean_message_rate(), 8.25, 1e-12);
+    EXPECT_NEAR(p.mean_service_rate(), 20.0, 1e-12);
+    EXPECT_NEAR(p.offered_load(), 8.25 / 20.0, 1e-12);  // paper: rho = 0.42
+    EXPECT_TRUE(p.homogeneous_types());
+    EXPECT_TRUE(p.uniform_service());
+    EXPECT_FALSE(p.bounded());
+    EXPECT_EQ(p.num_app_types(), 5u);
+}
+
+TEST(HapParams, HomogeneousFactoryShapes) {
+    const HapParams p = HapParams::homogeneous(0.01, 0.02, 0.3, 0.4, 4, 0.5, 2, 10.0);
+    ASSERT_EQ(p.apps.size(), 4u);
+    ASSERT_EQ(p.apps[0].messages.size(), 2u);
+    EXPECT_DOUBLE_EQ(p.apps[2].arrival_rate, 0.3);
+    EXPECT_DOUBLE_EQ(p.apps[3].messages[1].arrival_rate, 0.5);
+    EXPECT_DOUBLE_EQ(p.apps[0].total_message_rate(), 1.0);
+    EXPECT_DOUBLE_EQ(p.apps[0].mean_instances_per_user(), 0.75);
+}
+
+TEST(HapParams, TwoLevelOnOffForm) {
+    const HapParams p = HapParams::two_level(0.2, 0.5, 3.0, 50.0);
+    EXPECT_EQ(p.permanent_users, 1u);
+    EXPECT_NEAR(p.mean_users(), 1.0, 1e-12);
+    EXPECT_NEAR(p.mean_apps(), 0.4, 1e-12);
+    EXPECT_NEAR(p.mean_message_rate(), 0.4 * 3.0, 1e-12);
+}
+
+TEST(HapParams, MergeSplitInvariance) {
+    // Paper Fig. 8: merging/splitting branches keeps lambda-bar as long as
+    // the number of leaves is constant. (a) 2 types x 2 msgs; (b) 4 x 1;
+    // (c) 1 x 4.
+    const double lam = 0.004, mu = 0.002, l1 = 0.05, m1 = 0.05, l2 = 0.2, mu2 = 30.0;
+    const HapParams a = HapParams::homogeneous(lam, mu, l1, m1, 2, l2, 2, mu2);
+    const HapParams b = HapParams::homogeneous(lam, mu, l1, m1, 4, l2, 1, mu2);
+    const HapParams c = HapParams::homogeneous(lam, mu, l1, m1, 1, l2, 4, mu2);
+    EXPECT_NEAR(a.mean_message_rate(), b.mean_message_rate(), 1e-12);
+    EXPECT_NEAR(b.mean_message_rate(), c.mean_message_rate(), 1e-12);
+}
+
+TEST(HapParams, HeterogeneousDetection) {
+    HapParams p = HapParams::homogeneous(0.01, 0.01, 0.1, 0.1, 2, 0.2, 2, 10.0);
+    EXPECT_TRUE(p.homogeneous_types());
+    p.apps[1].messages[0].arrival_rate = 0.3;
+    EXPECT_FALSE(p.homogeneous_types());
+    EXPECT_TRUE(p.uniform_service());
+    p.apps[0].messages[1].service_rate = 12.0;
+    EXPECT_FALSE(p.uniform_service());
+}
+
+TEST(HapParams, MeanServiceRateHarmonic) {
+    HapParams p = HapParams::homogeneous(0.01, 0.01, 0.1, 0.1, 1, 1.0, 2, 10.0);
+    p.apps[0].messages[1].service_rate = 30.0;
+    // Equal-rate message types with service times 1/10 and 1/30:
+    // mean time = (0.1 + 1/30)/2 => rate = 15.
+    EXPECT_NEAR(p.mean_service_rate(), 15.0, 1e-12);
+}
+
+TEST(HapParams, ValidationRejectsBadShapes) {
+    HapParams p;
+    EXPECT_THROW(p.validate(), std::invalid_argument);  // no users, no apps
+
+    p = HapParams::paper_baseline();
+    p.user_arrival_rate = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = HapParams::paper_baseline();
+    p.apps.clear();
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = HapParams::paper_baseline();
+    p.apps[0].messages[0].arrival_rate = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = HapParams::paper_baseline();
+    p.permanent_users = 2;  // mixing permanent with dynamic
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = HapParams::two_level(0.1, 0.1, 1.0, 10.0);
+    p.max_users = 0;
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(HapParams, BoundsFlags) {
+    HapParams p = HapParams::paper_baseline();
+    EXPECT_FALSE(p.bounded());
+    p.max_users = 12;
+    p.max_apps = 60;
+    EXPECT_TRUE(p.bounded());
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(HapParams, Figure5StyleHeterogeneousExample) {
+    // Four application types, five message kinds (paper Fig. 5a).
+    HapParams p;
+    p.user_arrival_rate = 0.0055;
+    p.user_departure_rate = 0.001;
+    ApplicationType prog;  // programming: interactive + file transfer
+    prog.arrival_rate = 0.01;
+    prog.departure_rate = 0.01;
+    prog.messages = {MessageType{0.5, 40.0, "interactive"},
+                     MessageType{0.05, 5.0, "file"}};
+    ApplicationType db;  // database: interactive only
+    db.arrival_rate = 0.02;
+    db.departure_rate = 0.02;
+    db.messages = {MessageType{0.8, 40.0, "interactive"}};
+    ApplicationType gfx;  // graphics: images
+    gfx.arrival_rate = 0.005;
+    gfx.departure_rate = 0.01;
+    gfx.messages = {MessageType{0.1, 2.0, "image"}};
+    ApplicationType mm;  // multimedia: everything
+    mm.arrival_rate = 0.002;
+    mm.departure_rate = 0.005;
+    mm.messages = {MessageType{0.3, 40.0, "interactive"},
+                   MessageType{0.02, 5.0, "file"},
+                   MessageType{0.05, 2.0, "image"},
+                   MessageType{0.5, 8.0, "voice"},
+                   MessageType{0.2, 1.0, "video"}};
+    p.apps = {prog, db, gfx, mm};
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_FALSE(p.homogeneous_types());
+    EXPECT_FALSE(p.uniform_service());
+    EXPECT_GT(p.mean_message_rate(), 0.0);
+    // Eq. 4 by hand for this shape.
+    const double expected =
+        5.5 * (1.0 * 0.55 + 1.0 * 0.8 + 0.5 * 0.1 + 0.4 * 1.07);
+    EXPECT_NEAR(p.mean_message_rate(), expected, 1e-9);
+}
+
+}  // namespace

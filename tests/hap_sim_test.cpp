@@ -1,0 +1,171 @@
+// Tests for the fast CTMC HAP simulator, the instance-level DES simulator,
+// and the HapSource arrival-stream adapter.
+#include <gtest/gtest.h>
+
+#include "core/hap_instance_sim.hpp"
+#include "core/hap_sim.hpp"
+#include "queueing/queue_sim.hpp"
+#include "stats/series.hpp"
+
+namespace {
+
+using namespace hap::core;
+
+HapParams small_hap() {
+    return HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0, 1, 10.0);
+}
+
+TEST(FastSim, PopulationMeansMatchMmInf) {
+    const HapParams p = small_hap();
+    hap::sim::RandomStream rng(31);
+    HapSimOptions opts;
+    opts.horizon = 3e5;
+    opts.warmup = 2e3;
+    const auto res = simulate_hap_queue(p, rng, opts);
+    EXPECT_NEAR(res.users.mean(), p.mean_users(), 0.05 * p.mean_users());
+    EXPECT_NEAR(res.apps.mean(), p.mean_apps(), 0.05 * p.mean_apps());
+    // Throughput equals lambda-bar; utilization equals rho.
+    const double lambda_hat =
+        static_cast<double>(res.arrivals) / (opts.horizon - opts.warmup);
+    EXPECT_NEAR(lambda_hat, p.mean_message_rate(), 0.03 * p.mean_message_rate());
+    EXPECT_NEAR(res.utilization, p.offered_load(), 0.02);
+}
+
+TEST(FastSim, LittlesLaw) {
+    const HapParams p = small_hap();
+    hap::sim::RandomStream rng(37);
+    HapSimOptions opts;
+    opts.horizon = 2e5;
+    opts.warmup = 1e3;
+    const auto res = simulate_hap_queue(p, rng, opts);
+    const double lambda_hat =
+        static_cast<double>(res.departures) / (opts.horizon - opts.warmup);
+    EXPECT_NEAR(res.number.mean(), lambda_hat * res.delay.mean(),
+                0.05 * res.number.mean());
+}
+
+TEST(FastSim, InstanceSimAgrees) {
+    const HapParams p = small_hap();
+    hap::sim::RandomStream rng_a(41), rng_b(43);
+    HapSimOptions opts;
+    opts.horizon = 1.2e5;
+    opts.warmup = 5e3;  // instance sim starts empty; warm up past 1/mu
+    const auto fast = simulate_hap_queue(p, rng_a, opts);
+    const auto inst = simulate_hap_queue_instances(p, rng_b, opts);
+    EXPECT_NEAR(inst.delay.mean(), fast.delay.mean(), 0.10 * fast.delay.mean());
+    EXPECT_NEAR(inst.users.mean(), fast.users.mean(), 0.08 * fast.users.mean());
+    EXPECT_NEAR(inst.apps.mean(), fast.apps.mean(), 0.08 * fast.apps.mean());
+    EXPECT_NEAR(inst.utilization, fast.utilization, 0.03);
+}
+
+TEST(InstanceSim, ApplicationsSurviveUserDeparture) {
+    // Paper Section 2.1: applications may outlive the invoking user. With
+    // user lifetimes much shorter than app lifetimes, apps persist: the mean
+    // app count must still reach a * b (M/M/inf is insensitive to this), and
+    // the sim must not crash cancelling orphan emitters.
+    const HapParams p = HapParams::homogeneous(2.0, 2.0, 1.0, 0.05, 1, 0.5, 1, 50.0);
+    hap::sim::RandomStream rng(47);
+    HapSimOptions opts;
+    opts.horizon = 3e4;
+    opts.warmup = 2e3;
+    const auto res = simulate_hap_queue_instances(p, rng, opts);
+    EXPECT_NEAR(res.users.mean(), 1.0, 0.1);
+    EXPECT_NEAR(res.apps.mean(), p.mean_apps(), 0.1 * p.mean_apps());
+}
+
+TEST(InstanceSim, NonExponentialServiceChangesDelay) {
+    // M/D/1-flavored HAP: deterministic service halves the waiting time
+    // contribution; total delay must drop below the exponential-service run.
+    const HapParams p = small_hap();
+    HapDistributions dists;
+    dists.message_service = {{hap::sim::deterministic(0.1)}};
+    hap::sim::RandomStream rng_a(53), rng_b(59);
+    HapSimOptions opts;
+    opts.horizon = 1e5;
+    opts.warmup = 5e3;
+    const auto exp_run = simulate_hap_queue_instances(p, rng_a, opts);
+    const auto det_run = simulate_hap_queue_instances(p, rng_b, opts, dists);
+    EXPECT_LT(det_run.delay.mean(), exp_run.delay.mean());
+}
+
+TEST(FastSim, BoundsAreRespected) {
+    HapParams p = small_hap();
+    p.max_users = 2;
+    p.max_apps = 3;
+    hap::sim::RandomStream rng(61);
+    HapSimOptions opts;
+    opts.horizon = 5e4;
+    std::uint64_t max_users_seen = 0, max_apps_seen = 0;
+    opts.on_population_change = [&](double, std::uint64_t u, std::uint64_t a) {
+        max_users_seen = std::max(max_users_seen, u);
+        max_apps_seen = std::max(max_apps_seen, a);
+    };
+    const auto res = simulate_hap_queue(p, rng, opts);
+    EXPECT_LE(max_users_seen, 2u);
+    EXPECT_LE(max_apps_seen, 3u);
+    EXPECT_GT(res.time_at_user_bound, 0.0);
+    EXPECT_GT(res.time_at_app_bound, 0.0);
+}
+
+TEST(FastSim, PerTypeStatsCoverAllTypes) {
+    const HapParams p =
+        HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 3, 1.0, 2, 20.0);
+    hap::sim::RandomStream rng(67);
+    HapSimOptions opts;
+    opts.horizon = 3e4;
+    opts.per_type_stats = true;
+    const auto res = simulate_hap_queue(p, rng, opts);
+    ASSERT_EQ(res.delay_by_app_type.size(), 3u);
+    std::uint64_t total = 0;
+    for (const auto& s : res.delay_by_app_type) {
+        EXPECT_GT(s.count(), 0u);
+        total += s.count();
+    }
+    EXPECT_EQ(total, res.departures);
+}
+
+TEST(HapSourceTest, StreamRateAndBurstiness) {
+    const HapParams p = small_hap();
+    HapSource src(p);
+    hap::sim::RandomStream rng(71);
+    std::vector<double> times;
+    for (int i = 0; i < 400000; ++i) times.push_back(src.next(rng));
+    const double rate =
+        static_cast<double>(times.size()) / (times.back() - times.front());
+    EXPECT_NEAR(rate, p.mean_message_rate(), 0.05 * p.mean_message_rate());
+    // Burstier than Poisson on every front.
+    EXPECT_GT(hap::stats::interarrival_scv(times), 1.1);
+    EXPECT_GT(hap::stats::index_of_dispersion(times, 20.0), 1.5);
+}
+
+TEST(HapSourceTest, PluggableIntoGenericQueueSim) {
+    const HapParams p = small_hap();
+    HapSource src(p);
+    hap::sim::Exponential service(10.0);
+    hap::sim::RandomStream rng(73);
+    hap::queueing::QueueSimOptions opts;
+    opts.horizon = 2e5;
+    opts.warmup = 2e3;
+    const auto generic = simulate_queue(src, service, rng, opts);
+
+    hap::sim::RandomStream rng2(79);
+    HapSimOptions hopts;
+    hopts.horizon = 2e5;
+    hopts.warmup = 2e3;
+    const auto native = simulate_hap_queue(p, rng2, hopts);
+    EXPECT_NEAR(generic.delay.mean(), native.delay.mean(),
+                0.08 * native.delay.mean());
+}
+
+TEST(FastSim, SeededRunsAreReproducible) {
+    const HapParams p = small_hap();
+    HapSimOptions opts;
+    opts.horizon = 1e4;
+    hap::sim::RandomStream a(83), b(83);
+    const auto r1 = simulate_hap_queue(p, a, opts);
+    const auto r2 = simulate_hap_queue(p, b, opts);
+    EXPECT_EQ(r1.arrivals, r2.arrivals);
+    EXPECT_DOUBLE_EQ(r1.delay.mean(), r2.delay.mean());
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// End-to-end integration tests: the paper's experiments in miniature, wiring
+// core + markov + queueing + traffic + stats together.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hap.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/queue_sim.hpp"
+#include "stats/series.hpp"
+#include "traffic/onoff.hpp"
+#include "traffic/poisson.hpp"
+
+namespace {
+
+using namespace hap::core;
+
+TEST(Integration, PaperBaselineSimulatedDelayNearPaperValue) {
+    // Section 4: HAP/M/1 mean delay ~ 0.55 by Solution 0 and simulation at
+    // mu'' = 20 (6.47x the M/M/1 value 0.085). Sample-path noise on this
+    // heavy-tailed system is large, so accept a generous band around 0.55.
+    const HapParams p = HapParams::paper_baseline(20.0);
+    hap::sim::RandomStream rng(211);
+    HapSimOptions opts;
+    opts.horizon = 3e6;
+    opts.warmup = 5e4;
+    const auto res = simulate_hap_queue(p, rng, opts);
+    EXPECT_GT(res.delay.mean(), 0.3);
+    EXPECT_LT(res.delay.mean(), 0.9);
+    const double ratio = res.delay.mean() / hap::queueing::Mm1(8.25, 20.0).mean_delay();
+    EXPECT_GT(ratio, 3.5);   // paper: 6.47x
+    EXPECT_LT(ratio, 11.0);
+    EXPECT_NEAR(res.utilization, 0.4125, 0.02);
+}
+
+TEST(Integration, HapVsPoissonGapGrowsWithUtilization) {
+    // Fig. 11's qualitative law: the HAP/Poisson delay ratio explodes as the
+    // server capacity shrinks toward lambda-bar.
+    const HapParams base = HapParams::paper_baseline();
+    std::vector<double> ratios;
+    for (double mu : {30.0, 20.0, 15.0}) {
+        hap::sim::RandomStream rng(223);
+        HapParams p = base;
+        for (auto& app : p.apps)
+            for (auto& m : app.messages) m.service_rate = mu;
+        HapSimOptions opts;
+        opts.horizon = 1.5e6;
+        opts.warmup = 5e4;
+        const auto res = simulate_hap_queue(p, rng, opts);
+        ratios.push_back(res.delay.mean() /
+                         hap::queueing::Mm1(8.25, mu).mean_delay());
+    }
+    EXPECT_LT(ratios[0], ratios[1]);
+    EXPECT_LT(ratios[1], ratios[2]);
+    EXPECT_LT(ratios[0], 2.5);  // paper: only 15.22% higher at mu''=30
+    EXPECT_GT(ratios[2], 5.0);  // far worse by mu''=15
+}
+
+TEST(Integration, BusyPeriodVariancesDwarfPoisson) {
+    // Fig. 18: comparable busy fractions but variance ratios of orders of
+    // magnitude (618x busy-period, 66x height in the paper's run).
+    const HapParams p = HapParams::paper_baseline(15.0);
+    hap::sim::RandomStream rng(227);
+    HapSimOptions opts;
+    opts.horizon = 2e6;
+    opts.warmup = 5e4;
+    const auto hap_res = simulate_hap_queue(p, rng, opts);
+
+    hap::traffic::PoissonSource poisson(8.25);
+    hap::sim::Exponential service(15.0);
+    hap::sim::RandomStream rng2(229);
+    hap::queueing::QueueSimOptions qopts;
+    qopts.horizon = 2e6;
+    qopts.warmup = 5e4;
+    const auto poi_res = simulate_queue(poisson, service, rng2, qopts);
+
+    // Both around 55% busy.
+    EXPECT_NEAR(hap_res.utilization, 0.55, 0.03);
+    EXPECT_NEAR(poi_res.utilization, 0.55, 0.02);
+    // Massive variance separation.
+    EXPECT_GT(hap_res.busy.busy_lengths().variance(),
+              30.0 * poi_res.busy.busy_lengths().variance());
+    EXPECT_GT(hap_res.busy.heights().variance(),
+              10.0 * poi_res.busy.heights().variance());
+    // Fewer mountains for HAP over the same horizon (paper: ~19% fewer).
+    EXPECT_LT(hap_res.busy.mountains(), poi_res.busy.mountains());
+}
+
+TEST(Integration, HapIdcFarAbovePoisson) {
+    const HapParams p = HapParams::paper_baseline();
+    HapSource src(p);
+    hap::sim::RandomStream rng(233);
+    std::vector<double> times;
+    for (int i = 0; i < 500000; ++i) times.push_back(src.next(rng));
+    // Burstiness grows with the observation window (multi-time-scale
+    // correlation), one of the paper's central claims.
+    const double idc_short = hap::stats::index_of_dispersion(times, 1.0);
+    const double idc_long = hap::stats::index_of_dispersion(times, 100.0);
+    EXPECT_GT(idc_short, 1.2);
+    EXPECT_GT(idc_long, idc_short);
+    EXPECT_GT(idc_long, 5.0);
+}
+
+TEST(Integration, OnOffIsTwoLevelHap) {
+    // The paper: the on-off model is a 2-level HAP. An M/M/inf population of
+    // exponential on-off "calls" IS the 2-level HAP's application level, so
+    // the two arrival streams must match in rate and dispersion.
+    const double call_arr = 0.5, call_dep = 0.5, burst_rate = 2.0;
+    const HapParams p = HapParams::two_level(call_arr, call_dep, burst_rate, 10.0);
+    HapSource hap_src(p);
+    hap::sim::RandomStream rng(239);
+    std::vector<double> hap_times;
+    for (int i = 0; i < 300000; ++i) hap_times.push_back(hap_src.next(rng));
+
+    const double hap_rate = static_cast<double>(hap_times.size()) /
+                            (hap_times.back() - hap_times.front());
+    EXPECT_NEAR(hap_rate, p.mean_message_rate(), 0.05 * p.mean_message_rate());
+    EXPECT_GT(hap::stats::interarrival_scv(hap_times), 1.0);
+}
+
+TEST(Integration, QbdMatchesGenericMmppQueueSim) {
+    // Flatten a small HAP to an MMPP, push it through the generic queue
+    // simulator, and compare with the matrix-geometric solution.
+    const HapParams p = HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0, 1, 10.0);
+    ChainBounds b;
+    b.max_users = 10;
+    b.max_apps_total = 24;
+    const LumpedChain chain(p, b);
+    auto mmpp = chain.to_mmpp();
+    hap::sim::Exponential service(10.0);
+    hap::sim::RandomStream rng(241);
+    hap::queueing::QueueSimOptions opts;
+    opts.horizon = 3e5;
+    opts.warmup = 3e3;
+    const auto sim = simulate_queue(mmpp, service, rng, opts);
+
+    const auto qbd = hap::markov::solve_mmpp_m1(chain.dense_generator(),
+                                                chain.arrival_rates(), 10.0);
+    ASSERT_TRUE(qbd.stable);
+    EXPECT_NEAR(sim.delay.mean(), qbd.mean_delay, 0.07 * qbd.mean_delay);
+    EXPECT_NEAR(sim.number.mean(), qbd.mean_level, 0.08 * qbd.mean_level);
+}
+
+TEST(Integration, CongestionPersistsAtMessageTimescale) {
+    // Fig. 14/15 in miniature: the longest busy period under HAP spans many
+    // thousands of service times, while Poisson's longest stays modest.
+    const HapParams p = HapParams::paper_baseline(15.0);
+    hap::sim::RandomStream rng(251);
+    HapSimOptions opts;
+    opts.horizon = 1.5e6;
+    opts.warmup = 2e4;
+    const auto hap_res = simulate_hap_queue(p, rng, opts);
+
+    hap::traffic::PoissonSource poisson(8.25);
+    hap::sim::Exponential service(15.0);
+    hap::sim::RandomStream rng2(257);
+    hap::queueing::QueueSimOptions qopts;
+    qopts.horizon = 1.5e6;
+    qopts.warmup = 2e4;
+    const auto poi_res = simulate_queue(poisson, service, rng2, qopts);
+
+    EXPECT_GT(hap_res.busy.busy_lengths().max(),
+              10.0 * poi_res.busy.busy_lengths().max());
+    EXPECT_GT(hap_res.busy.heights().max(), 4.0 * poi_res.busy.heights().max());
+    // Paper's Poisson peak was 29 messages; ours should be the same order.
+    EXPECT_LT(poi_res.busy.heights().max(), 120.0);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Statistical validation of the MMPP generator and additional solver
+// cross-checks that tie the traffic, markov, and core layers together.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hap.hpp"
+#include "markov/ctmc.hpp"
+#include "stats/online_stats.hpp"
+#include "traffic/mmpp.hpp"
+
+namespace {
+
+using namespace hap;
+
+TEST(MmppSampling, OccupancyMatchesStationary) {
+    // Sample the modulating phase at arrival epochs: the empirical
+    // distribution must match the rate-biased stationary law
+    // pi_i r_i / sum_j pi_j r_j.
+    traffic::Mmpp m = traffic::Mmpp::two_state(0.4, 0.6, 2.0, 10.0);
+    sim::RandomStream rng(601);
+    std::vector<std::uint64_t> at_arrival(2, 0);
+    for (int i = 0; i < 200000; ++i) {
+        m.next(rng);
+        ++at_arrival[m.current_state()];
+    }
+    const auto& pi = m.stationary();
+    const double lbar = m.mean_rate();
+    const double expect1 = pi[1] * 10.0 / lbar;
+    const double got1 = static_cast<double>(at_arrival[1]) / 200000.0;
+    EXPECT_NEAR(got1, expect1, 0.02);
+}
+
+TEST(MmppSampling, HapChainMmppMatchesHapSource) {
+    // The truncated-chain MMPP and the native HapSource are two generators
+    // of the same process; their interarrival means and SCVs must agree.
+    const core::HapParams p =
+        core::HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0, 1, 10.0);
+    core::ChainBounds b;
+    b.max_users = 10;
+    b.max_apps_total = 24;
+    const core::LumpedChain chain(p, b);
+    auto mmpp = chain.to_mmpp();
+    core::HapSource native(p);
+
+    sim::RandomStream rng1(603), rng2(605);
+    stats::OnlineStats g1, g2;
+    double t1 = 0.0, t2 = 0.0;
+    for (int i = 0; i < 300000; ++i) {
+        const double n1 = mmpp.next(rng1);
+        g1.add(n1 - t1);
+        t1 = n1;
+        const double n2 = native.next(rng2);
+        g2.add(n2 - t2);
+        t2 = n2;
+    }
+    EXPECT_NEAR(g1.mean(), g2.mean(), 0.03 * g2.mean());
+    EXPECT_NEAR(g1.scv(), g2.scv(), 0.1 * g2.scv());
+}
+
+TEST(MmppSampling, AsymptoticIdcMatchesLumpedChainTheory) {
+    // The chain-built MMPP's analytic IDC must exceed 1 and be reproduced by
+    // counting arrivals in long windows.
+    const core::HapParams p =
+        core::HapParams::homogeneous(0.8, 0.4, 1.0, 1.0, 1, 2.0, 1, 10.0);
+    core::ChainBounds b;
+    b.max_users = 9;
+    b.max_apps_total = 20;
+    const core::LumpedChain chain(p, b);
+    auto mmpp = chain.to_mmpp();
+    const double idc = mmpp.asymptotic_idc();
+    EXPECT_GT(idc, 1.5);
+
+    sim::RandomStream rng(607);
+    std::vector<double> counts;
+    const double window = 50.0;  // >> modulating time constants (~1-2.5)
+    double next_edge = window;
+    std::uint64_t c = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const double t = mmpp.next(rng);
+        while (t >= next_edge) {
+            counts.push_back(static_cast<double>(c));
+            c = 0;
+            next_edge += window;
+        }
+        ++c;
+    }
+    stats::OnlineStats s;
+    for (double v : counts) s.add(v);
+    EXPECT_NEAR(s.variance() / s.mean(), idc, 0.25 * idc);
+}
+
+TEST(BoundedCross, Solution1AndSolution2AgreeUnderBounds) {
+    // Admission-bounded baseline: Solution 1 (exact truncated chain) and
+    // Solution 2 (truncated-Poisson marginals) share the same state space,
+    // so they must agree about as well as in the unbounded case.
+    core::HapParams p = core::HapParams::paper_baseline(20.0);
+    p.max_users = 12;
+    p.max_apps = 60;
+    const core::Solution1 s1(p);
+    const core::Solution2 s2(p);
+    EXPECT_NEAR(s1.mean_rate(), s2.mean_rate(), 0.02 * s2.mean_rate());
+    const auto q1 = s1.solve_queue(20.0);
+    const auto q2 = s2.solve_queue(20.0);
+    EXPECT_NEAR(q1.mean_delay, q2.mean_delay, 0.06 * q2.mean_delay);
+}
+
+TEST(BoundedCross, SimulationTracksBoundedSolution3) {
+    core::HapParams p = core::HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0,
+                                                     1, 10.0);
+    p.max_users = 4;
+    p.max_apps = 8;
+    core::ChainBounds b;
+    b.max_users = 4;
+    b.max_apps_total = 8;
+    const auto s3 = solve_solution3(p, b);
+    ASSERT_TRUE(s3.qbd.stable);
+
+    sim::RandomStream rng(613);
+    core::HapSimOptions opts;
+    opts.horizon = 3e5;
+    opts.warmup = 2e3;
+    const auto sim_res = simulate_hap_queue(p, rng, opts);
+    EXPECT_NEAR(sim_res.delay.mean(), s3.qbd.mean_delay,
+                0.05 * s3.qbd.mean_delay);
+    EXPECT_NEAR(sim_res.utilization, s3.qbd.utilization, 0.02);
+}
+
+}  // namespace

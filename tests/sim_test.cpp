@@ -1,0 +1,157 @@
+// Unit tests for the DES engine, RNG streams, and distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/distributions.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "stats/online_stats.hpp"
+
+namespace {
+
+using hap::sim::Deterministic;
+using hap::sim::Erlang;
+using hap::sim::Exponential;
+using hap::sim::HyperExponential;
+using hap::sim::RandomStream;
+using hap::sim::Simulator;
+using hap::sim::Uniform;
+
+TEST(Rng, Deterministic) {
+    RandomStream a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+    RandomStream a(42);
+    RandomStream c = a.fork();
+    RandomStream d = a.fork();
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i) any_diff |= (c.uniform() != d.uniform());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+    RandomStream rng(7);
+    hap::stats::OnlineStats s;
+    for (int i = 0; i < 100000; ++i) {
+        const double v = rng.exponential(4.0);
+        ASSERT_GE(v, 0.0);
+        s.add(v);
+    }
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+    EXPECT_NEAR(s.scv(), 1.0, 0.05);
+}
+
+TEST(Distributions, MomentsMatchSamples) {
+    RandomStream rng(9);
+    const std::vector<std::shared_ptr<const hap::sim::Distribution>> dists{
+        std::make_shared<Exponential>(2.0),
+        std::make_shared<Deterministic>(0.7),
+        std::make_shared<Uniform>(1.0, 3.0),
+        std::make_shared<Erlang>(4, 8.0),
+        std::make_shared<HyperExponential>(std::vector<double>{0.4, 0.6},
+                                           std::vector<double>{1.0, 10.0}),
+    };
+    for (const auto& d : dists) {
+        hap::stats::OnlineStats s;
+        for (int i = 0; i < 200000; ++i) s.add(d->sample(rng));
+        EXPECT_NEAR(s.mean(), d->mean(), 0.02 * std::max(1.0, d->mean()))
+            << "mean mismatch";
+        EXPECT_NEAR(s.variance(), d->variance(),
+                    0.05 * std::max(0.05, d->variance()))
+            << "variance mismatch";
+    }
+}
+
+TEST(Distributions, RejectBadParameters) {
+    EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+    EXPECT_THROW(Deterministic(-1.0), std::invalid_argument);
+    EXPECT_THROW(Uniform(3.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Erlang(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(HyperExponential({0.5}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(HyperExponential({0.5, 0.4}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+    Simulator des;
+    std::vector<int> order;
+    des.schedule(3.0, [&] { order.push_back(3); });
+    des.schedule(1.0, [&] { order.push_back(1); });
+    des.schedule(2.0, [&] { order.push_back(2); });
+    des.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(des.now(), 3.0);
+    EXPECT_EQ(des.events_processed(), 3u);
+}
+
+TEST(Simulator, TieBreaksByInsertionOrder) {
+    Simulator des;
+    std::vector<int> order;
+    des.schedule(1.0, [&] { order.push_back(0); });
+    des.schedule(1.0, [&] { order.push_back(1); });
+    des.schedule(1.0, [&] { order.push_back(2); });
+    des.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator des;
+    bool fired = false;
+    const auto id = des.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(des.cancel(id));
+    EXPECT_FALSE(des.cancel(id));  // second cancel is a no-op
+    des.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+    Simulator des;
+    int count = 0;
+    // Self-rescheduling event chain.
+    std::function<void()> tick = [&] {
+        ++count;
+        des.schedule(1.0, tick);
+    };
+    des.schedule(1.0, tick);
+    des.run_until(5.5);
+    EXPECT_EQ(count, 5);
+    EXPECT_DOUBLE_EQ(des.now(), 5.5);
+    des.run_until(7.5);  // resumes with the pending event chain
+    EXPECT_EQ(count, 7);
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+    Simulator des;
+    std::vector<int> order;
+    des.schedule(1.0, [&] {
+        order.push_back(1);
+        des.schedule(0.0, [&] { order.push_back(2); });
+    });
+    des.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, StopInsideHandler) {
+    Simulator des;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        des.schedule(i, [&] {
+            if (++count == 3) des.stop();
+        });
+    des.run();
+    EXPECT_EQ(count, 3);
+    EXPECT_TRUE(des.stopped());
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+    Simulator des;
+    des.schedule(1.0, [] {});
+    des.run();
+    EXPECT_THROW(des.schedule_at(0.5, [] {}), std::invalid_argument);
+    EXPECT_THROW(des.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Dedicated tests for the Solution 0 solver (line relaxation + marginal
+// projection on the (x, y, z) lattice).
+#include <gtest/gtest.h>
+
+#include "core/hap.hpp"
+
+namespace {
+
+using namespace hap::core;
+
+HapParams small_hap(double mu2 = 10.0) {
+    return HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0, 1, mu2);
+}
+
+TEST(Solution0, RejectsUnsupportedShapes) {
+    HapParams het = HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 2, 1.0, 1, 10.0);
+    het.apps[1].arrival_rate = 0.9;
+    het.validate();
+    EXPECT_THROW(solve_solution0(het), std::invalid_argument);
+
+    HapParams mixed_service = small_hap();
+    mixed_service.apps[0].messages.push_back(MessageType{1.0, 25.0, ""});
+    mixed_service.validate();
+    EXPECT_THROW(solve_solution0(mixed_service), std::invalid_argument);
+}
+
+TEST(Solution0, PinnedUserTwoLevelMatchesQbd) {
+    const HapParams p = HapParams::two_level(0.1, 0.01, 0.1, 4.0);
+    Solution0Options o;
+    o.max_messages = 300;
+    o.tol = 1e-9;
+    const auto s0 = solve_solution0(p, o);
+    ASSERT_TRUE(s0.converged);
+    const auto s3 = solve_solution3(p);
+    ASSERT_TRUE(s3.qbd.stable);
+    EXPECT_NEAR(s0.mean_delay, s3.qbd.mean_delay, 0.02 * s3.qbd.mean_delay);
+    EXPECT_NEAR(s0.utilization, s3.qbd.utilization, 0.005);
+}
+
+TEST(Solution0, ModulatingMarginalsAreExact) {
+    const HapParams p = small_hap();
+    Solution0Options o;
+    o.max_messages = 300;
+    const auto s0 = solve_solution0(p, o);
+    // The projection pins the modulating marginal, so the population means
+    // match the M/M/inf closed forms to solver precision.
+    EXPECT_NEAR(s0.mean_users, p.mean_users(), 1e-6);
+    EXPECT_NEAR(s0.mean_apps, p.mean_apps(), 1e-4);
+    EXPECT_NEAR(s0.utilization, p.offered_load(), 1e-4);
+}
+
+TEST(Solution0, AdmissionBoundsHonored) {
+    HapParams bounded = small_hap();
+    bounded.max_users = 3;
+    bounded.max_apps = 5;
+    Solution0Options o;
+    o.max_messages = 300;
+    const auto sb = solve_solution0(bounded, o);
+    const auto sf = solve_solution0(small_hap(), o);
+    ASSERT_TRUE(sb.converged);
+    // Blocking cuts throughput and delay.
+    EXPECT_LT(sb.mean_rate, sf.mean_rate);
+    EXPECT_LT(sb.mean_delay, sf.mean_delay);
+    // And matches the QBD on the identically-truncated chain.
+    ChainBounds cb;
+    cb.max_users = 3;
+    cb.max_apps_total = 5;
+    const auto s3 = solve_solution3(bounded, cb);
+    EXPECT_NEAR(sb.mean_delay, s3.qbd.mean_delay, 0.02 * s3.qbd.mean_delay);
+}
+
+TEST(Solution0, DelayGrowsWithQueueBoundUnderHeavyTail) {
+    // The heavy-tail signature on a loaded queue: widening the z bound keeps
+    // adding mean queue (mountains), while sigma stays put.
+    const HapParams p = small_hap(8.0);  // rho = 0.5
+    Solution0Options o1, o2;
+    o1.max_messages = 100;
+    o2.max_messages = 500;
+    const auto r1 = solve_solution0(p, o1);
+    const auto r2 = solve_solution0(p, o2);
+    EXPECT_GT(r2.mean_delay, r1.mean_delay * 1.01);
+    EXPECT_NEAR(r1.sigma, r2.sigma, 0.01);
+}
+
+TEST(Solution0, SigmaConsistentWithUtilizationOrdering) {
+    // sigma (rate-weighted P(busy at arrival)) exceeds the time-average
+    // utilization for positively correlated arrivals (bursts find queues).
+    const HapParams p = small_hap();
+    Solution0Options o;
+    o.max_messages = 400;
+    const auto s0 = solve_solution0(p, o);
+    EXPECT_GT(s0.sigma, s0.utilization);
+}
+
+TEST(Solution0, ReportsNonConvergenceHonestly) {
+    const HapParams p = small_hap();
+    Solution0Options o;
+    o.max_messages = 400;
+    o.max_sweeps = 3;  // far too few
+    const auto res = solve_solution0(p, o);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.sweeps, 3u);
+}
+
+}  // namespace

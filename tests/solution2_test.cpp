@@ -1,0 +1,161 @@
+// Tests for the Solution 2 closed forms against the paper's own numerical
+// anchors (Section 4, Fig. 9/10) and internal consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solution2.hpp"
+#include "numerics/quadrature.hpp"
+#include "queueing/mm1.hpp"
+
+namespace {
+
+using hap::core::HapParams;
+using hap::core::Solution2;
+
+TEST(Solution2Test, PaperHeadlineNumbers) {
+    // Section 4 opening: lambda = 0.0055 ... mu'' = 20 => lambda-bar = 8.25,
+    // sigma = 0.50, rho = 0.42 (0.4125), delay 0.1 for Solutions 1/2 vs
+    // 0.085 for M/M/1 (17.65% higher). The paper prints one-significant-
+    // figure sigma/delay; our exact evaluation of the same mixture gives
+    // sigma = 0.467, delay = 0.094 (10% above M/M/1) — within the paper's
+    // rounding of 0.5 / 0.1.
+    const HapParams p = HapParams::paper_baseline(20.0);
+    const Solution2 sol(p);
+    EXPECT_NEAR(sol.mean_rate(), 8.25, 1e-9);
+    const auto q = sol.solve_queue(20.0);
+    ASSERT_TRUE(q.stable);
+    EXPECT_NEAR(q.sigma, 0.50, 0.05);
+    EXPECT_NEAR(q.utilization, 0.4125, 1e-9);
+    EXPECT_NEAR(q.mean_delay, 0.1, 0.01);
+    const hap::queueing::Mm1 mm1(8.25, 20.0);
+    EXPECT_NEAR(mm1.mean_delay(), 0.085, 0.0006);
+    // HAP's G/M/1 delay sits 5-20% above M/M/1 at this load.
+    EXPECT_GT(q.mean_delay / mm1.mean_delay(), 1.05);
+    EXPECT_LT(q.mean_delay / mm1.mean_delay(), 1.25);
+}
+
+TEST(Solution2Test, Figure9Anchors) {
+    // Fig. 9 uses the lambda-bar = 7.5 variant (lambda = 0.005): HAP's a(0)
+    // is 9.28 versus Poisson's 7.5, and the curves cross near t = 0.077 and
+    // t = 0.53.
+    const HapParams p = HapParams::homogeneous(0.005, 0.001, 0.01, 0.01, 5, 0.1, 3, 20.0);
+    const Solution2 sol(p);
+    EXPECT_NEAR(sol.mean_rate(), 7.5, 1e-9);
+    EXPECT_NEAR(sol.interarrival_density(0.0), 9.3, 0.05);  // paper prints 9.28
+    const auto poisson = [&](double t) { return 7.5 * std::exp(-7.5 * t); };
+    // Crossings: density differences change sign near the paper's points.
+    const double d1 = sol.interarrival_density(0.05) - poisson(0.05);
+    const double d2 = sol.interarrival_density(0.2) - poisson(0.2);
+    const double d3 = sol.interarrival_density(0.7) - poisson(0.7);
+    EXPECT_GT(d1, 0.0);  // before first crossing HAP is above
+    EXPECT_LT(d2, 0.0);  // between crossings HAP is below
+    EXPECT_GT(d3, 0.0);  // past the second crossing the HAP tail is heavier
+}
+
+TEST(Solution2Test, DensityIntegratesToOne) {
+    const HapParams p = HapParams::paper_baseline();
+    const Solution2 sol(p);
+    const double total = hap::numerics::integrate_to_infinity(
+        [&](double t) { return sol.interarrival_density(t); });
+    EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Solution2Test, DensityMatchesCdfDerivativeAndMean) {
+    const HapParams p = HapParams::paper_baseline();
+    const Solution2 sol(p);
+    // a(t) ~ dA/dt by central differences.
+    for (double t : {0.01, 0.1, 0.4, 1.0}) {
+        const double h = 1e-6;
+        const double numeric =
+            (sol.interarrival_cdf(t + h) - sol.interarrival_cdf(t - h)) / (2 * h);
+        EXPECT_NEAR(sol.interarrival_density(t), numeric, 1e-4);
+    }
+    // Mean of the mixture is (1 - L(inf)) / lambda-bar (DESIGN.md note).
+    const double mean = hap::numerics::integrate_to_infinity(
+        [&](double t) { return t * sol.interarrival_density(t); });
+    EXPECT_NEAR(mean, (1.0 - sol.zero_rate_mass()) / sol.mean_rate(), 1e-7);
+    EXPECT_NEAR(sol.zero_rate_mass(), std::exp(5.5 * (std::exp(-5.0) - 1.0)), 1e-12);
+}
+
+TEST(Solution2Test, CdfAnchors) {
+    const HapParams p = HapParams::paper_baseline();
+    const Solution2 sol(p);
+    EXPECT_NEAR(sol.interarrival_cdf(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(sol.interarrival_cdf(1e4), 1.0, 1e-9);
+    // Monotone nondecreasing.
+    double prev = 0.0;
+    for (double t = 0.0; t < 3.0; t += 0.05) {
+        const double c = sol.interarrival_cdf(t);
+        ASSERT_GE(c, prev - 1e-12);
+        prev = c;
+    }
+}
+
+TEST(Solution2Test, MixtureTransformMatchesQuadrature) {
+    // The finite-mixture A*(s) (homogeneous path) must equal the closed-form
+    // density's numerical transform.
+    const HapParams p = HapParams::paper_baseline();
+    const Solution2 sol(p);
+    for (double s : {0.5, 2.0, 10.0, 40.0}) {
+        const double mix = sol.laplace(s);
+        const double quad = hap::numerics::integrate_to_infinity(
+            [&](double t) { return sol.interarrival_density(t) * std::exp(-s * t); });
+        EXPECT_NEAR(mix, quad, 1e-6) << "s=" << s;
+    }
+}
+
+TEST(Solution2Test, PinnedUserClosedForm) {
+    // Two-level HAP (on-off generalization): density still integrates to 1
+    // and the zero-rate mass is e^{-b} with b = calls per user.
+    const HapParams p = HapParams::two_level(0.5, 0.25, 2.0, 50.0);  // b = 2
+    const Solution2 sol(p);
+    EXPECT_NEAR(sol.mean_rate(), 4.0, 1e-12);
+    EXPECT_NEAR(sol.zero_rate_mass(), std::exp(-2.0), 1e-12);
+    const double total = hap::numerics::integrate_to_infinity(
+        [&](double t) { return sol.interarrival_density(t); });
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    const auto q = sol.solve_queue(50.0);
+    ASSERT_TRUE(q.stable);
+    EXPECT_GT(q.mean_delay, hap::queueing::Mm1(4.0, 50.0).mean_delay());
+}
+
+TEST(Solution2Test, BoundedReducesRateAndDelay) {
+    // Fig. 20: bounding users to 12 and applications to 60 lowers both the
+    // admitted workload and the delay.
+    const HapParams base = HapParams::paper_baseline(20.0);
+    HapParams bounded = base;
+    bounded.max_users = 12;
+    bounded.max_apps = 60;
+    const Solution2 s_free(base);
+    const Solution2 s_bound(bounded);
+    EXPECT_LT(s_bound.mean_rate(), s_free.mean_rate());
+    const auto qf = s_free.solve_queue(20.0);
+    const auto qb = s_bound.solve_queue(20.0);
+    EXPECT_LT(qb.mean_delay, qf.mean_delay);
+    EXPECT_LT(qb.sigma, qf.sigma);
+    EXPECT_THROW(s_bound.interarrival_density(0.1), std::logic_error);
+}
+
+TEST(Solution2Test, TightBoundsCutHard) {
+    HapParams tight = HapParams::paper_baseline(20.0);
+    tight.max_users = 3;
+    tight.max_apps = 10;
+    const Solution2 sol(tight);
+    EXPECT_LT(sol.mean_rate(), 4.0);  // far below the unbounded 8.25
+}
+
+TEST(Solution2Test, HeterogeneousQuadraturePath) {
+    // Non-homogeneous types force the quadrature transform; the G/M/1 solve
+    // must still work and give a delay above M/M/1 at equal load.
+    HapParams p = HapParams::homogeneous(0.02, 0.01, 0.05, 0.05, 2, 0.5, 1, 20.0);
+    p.apps[1].messages[0].arrival_rate = 1.0;  // heterogeneous now
+    p.validate();
+    const Solution2 sol(p);
+    const double rate = sol.mean_rate();
+    const auto q = sol.solve_queue(20.0);
+    ASSERT_TRUE(q.stable);
+    EXPECT_GT(q.mean_delay, hap::queueing::Mm1(rate, 20.0).mean_delay());
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Unit tests for the statistics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/busy_period.hpp"
+#include "stats/histogram.hpp"
+#include "stats/online_stats.hpp"
+#include "stats/series.hpp"
+
+namespace {
+
+using hap::stats::BusyPeriodTracker;
+using hap::stats::Histogram;
+using hap::stats::OnlineStats;
+using hap::stats::TimeWeightedStats;
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(OnlineStats, MergeEqualsPooled) {
+    OnlineStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = std::sin(i * 0.7) * 3.0 + i * 0.01;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(OnlineStats, ScvOfConstantIsZero) {
+    OnlineStats s;
+    for (int i = 0; i < 10; ++i) s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.scv(), 0.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantMean) {
+    TimeWeightedStats tw(0.0, 0.0);
+    tw.update(2.0, 4.0);   // value 0 on [0,2)
+    tw.update(6.0, 1.0);   // value 4 on [2,6)
+    tw.finish(10.0);       // value 1 on [6,10)
+    EXPECT_DOUBLE_EQ(tw.elapsed(), 10.0);
+    EXPECT_DOUBLE_EQ(tw.mean(), (0 * 2 + 4 * 4 + 1 * 4) / 10.0);
+    EXPECT_DOUBLE_EQ(tw.max(), 4.0);
+}
+
+TEST(TimeWeighted, VarianceNonNegative) {
+    TimeWeightedStats tw(0.0, 5.0);
+    tw.finish(3.0);
+    EXPECT_NEAR(tw.variance(), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(tw.mean(), 5.0);
+}
+
+TEST(Histogram, CountsAndDensity) {
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i) h.add(0.05 + i * 0.1);  // uniform over [0,10)
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (std::size_t b = 0; b < h.bins(); ++b) {
+        EXPECT_EQ(h.bin_count(b), 10u);
+        EXPECT_NEAR(h.density(b), 0.1, 1e-12);
+    }
+}
+
+TEST(Histogram, OverflowUnderflow) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(-1.0);
+    h.add(2.0);
+    h.add(0.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileOfUniform) {
+    Histogram h(0.0, 1.0, 100);
+    hap::sim::RandomStream rng(7);
+    for (int i = 0; i < 200000; ++i) h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.01);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.01);
+}
+
+TEST(Series, AutocorrelationOfAlternatingSequence) {
+    std::vector<double> s;
+    for (int i = 0; i < 1000; ++i) s.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_NEAR(hap::stats::autocorrelation(s, 1), -1.0, 1e-2);
+    EXPECT_NEAR(hap::stats::autocorrelation(s, 2), 1.0, 1e-2);
+}
+
+TEST(Series, BatchMeansCoversTrueMean) {
+    hap::sim::RandomStream rng(11);
+    std::vector<double> s;
+    for (int i = 0; i < 10000; ++i) s.push_back(rng.exponential(2.0));
+    const auto r = hap::stats::batch_means(s, 20);
+    EXPECT_NEAR(r.mean, 0.5, 0.05);
+    EXPECT_GT(r.half_width, 0.0);
+    EXPECT_LT(std::abs(r.mean - 0.5), 4.0 * r.half_width);
+}
+
+TEST(Series, PoissonIdcNearOne) {
+    hap::sim::RandomStream rng(3);
+    std::vector<double> times;
+    double t = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        t += rng.exponential(5.0);
+        times.push_back(t);
+    }
+    const double idc = hap::stats::index_of_dispersion(times, 10.0);
+    EXPECT_NEAR(idc, 1.0, 0.15);
+    EXPECT_NEAR(hap::stats::interarrival_scv(times), 1.0, 0.05);
+}
+
+TEST(Series, DeterministicStreamIdcNearZero) {
+    std::vector<double> times;
+    for (int i = 1; i <= 10000; ++i) times.push_back(i * 0.1);
+    EXPECT_LT(hap::stats::index_of_dispersion(times, 10.0), 0.05);
+    EXPECT_LT(hap::stats::interarrival_scv(times), 1e-10);
+}
+
+TEST(BusyPeriod, DecomposesSimplePath) {
+    BusyPeriodTracker bp(0.0);
+    bp.observe(1.0, 1);  // idle [0,1), busy starts
+    bp.observe(2.0, 2);
+    bp.observe(3.0, 1);
+    bp.observe(4.0, 0);  // busy [1,4) height 2
+    bp.observe(6.0, 1);  // idle [4,6)
+    bp.observe(7.0, 0);  // busy [6,7) height 1
+    bp.finish(8.0);
+    EXPECT_EQ(bp.mountains(), 2u);
+    EXPECT_DOUBLE_EQ(bp.busy_lengths().mean(), 2.0);
+    EXPECT_DOUBLE_EQ(bp.idle_lengths().mean(), 1.5);
+    EXPECT_DOUBLE_EQ(bp.heights().mean(), 1.5);
+    EXPECT_DOUBLE_EQ(bp.busy_fraction(), 4.0 / 8.0);
+}
+
+TEST(BusyPeriod, NonzeroStartTimeDoesNotInflateFirstIdle) {
+    // Regression: a tracker started at t0 (e.g. after a warmup) must measure
+    // the first idle period from t0, not from 0 — a 50,000-second phantom
+    // idle once poisoned the Fig. 18 idle variances.
+    BusyPeriodTracker bp(50000.0);
+    bp.observe(50000.5, 1);
+    bp.observe(50001.0, 0);
+    bp.observe(50002.0, 1);
+    bp.observe(50003.0, 0);
+    bp.finish(50004.0);
+    EXPECT_DOUBLE_EQ(bp.idle_lengths().max(), 1.0);
+    EXPECT_DOUBLE_EQ(bp.idle_lengths().mean(), 0.75);
+}
+
+TEST(BusyPeriod, OpenPeriodNotCounted) {
+    BusyPeriodTracker bp(0.0);
+    bp.observe(1.0, 1);
+    bp.finish(5.0);  // busy period still open
+    EXPECT_EQ(bp.mountains(), 0u);
+    EXPECT_DOUBLE_EQ(bp.busy_fraction(), 4.0 / 5.0);
+}
+
+}  // namespace

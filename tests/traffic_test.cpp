@@ -1,0 +1,172 @@
+// Unit tests for the traffic sources: Poisson, on-off, MMPP, packet trains,
+// superposition.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/online_stats.hpp"
+#include "stats/series.hpp"
+#include "traffic/mmpp.hpp"
+#include "traffic/onoff.hpp"
+#include "traffic/packet_train.hpp"
+#include "traffic/poisson.hpp"
+#include "traffic/superposition.hpp"
+
+namespace {
+
+using hap::sim::RandomStream;
+using hap::traffic::Mmpp;
+using hap::traffic::OnOffSource;
+using hap::traffic::PacketTrainSource;
+using hap::traffic::PoissonSource;
+using hap::traffic::SuperpositionSource;
+
+std::vector<double> collect(hap::traffic::ArrivalProcess& src, RandomStream& rng,
+                            std::size_t n) {
+    std::vector<double> times;
+    times.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) times.push_back(src.next(rng));
+    return times;
+}
+
+double empirical_rate(const std::vector<double>& times) {
+    return static_cast<double>(times.size() - 1) / (times.back() - times.front());
+}
+
+TEST(Poisson, RateAndMemorylessness) {
+    PoissonSource src(5.0);
+    RandomStream rng(1);
+    const auto times = collect(src, rng, 200000);
+    EXPECT_NEAR(empirical_rate(times), 5.0, 0.1);
+    EXPECT_NEAR(hap::stats::interarrival_scv(times), 1.0, 0.05);
+    EXPECT_NEAR(hap::stats::index_of_dispersion(times, 5.0), 1.0, 0.1);
+}
+
+TEST(Poisson, StrictlyIncreasingTimes) {
+    PoissonSource src(100.0);
+    RandomStream rng(2);
+    double prev = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double t = src.next(rng);
+        ASSERT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(OnOff, MeanRateMatchesFormula) {
+    OnOffSource src(0.5, 1.5, 12.0);  // on 25% of the time
+    EXPECT_NEAR(src.mean_rate(), 3.0, 1e-12);
+    EXPECT_NEAR(src.activity_factor(), 0.25, 1e-12);
+    RandomStream rng(3);
+    const auto times = collect(src, rng, 200000);
+    EXPECT_NEAR(empirical_rate(times), 3.0, 0.1);
+}
+
+TEST(OnOff, BurstierThanPoisson) {
+    OnOffSource src(0.1, 0.9, 30.0);  // rare but intense bursts
+    RandomStream rng(4);
+    const auto times = collect(src, rng, 100000);
+    EXPECT_GT(hap::stats::interarrival_scv(times), 2.0);
+    EXPECT_GT(hap::stats::index_of_dispersion(times, 10.0), 3.0);
+}
+
+TEST(Mmpp, ValidatesGenerator) {
+    hap::numerics::Matrix bad{{-1.0, 0.5}, {1.0, -1.0}};  // row 0 sums to -0.5
+    EXPECT_THROW(Mmpp(bad, {1.0, 2.0}), std::invalid_argument);
+    hap::numerics::Matrix neg{{-1.0, 1.0}, {-1.0, 1.0}};  // negative off-diagonal
+    EXPECT_THROW(Mmpp(neg, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Mmpp, StationaryDistribution) {
+    Mmpp m = Mmpp::two_state(1.0, 3.0, 0.0, 8.0);
+    const auto& pi = m.stationary();
+    EXPECT_NEAR(pi[0], 0.75, 1e-12);
+    EXPECT_NEAR(pi[1], 0.25, 1e-12);
+    EXPECT_NEAR(m.mean_rate(), 2.0, 1e-12);
+}
+
+TEST(Mmpp, SimulatedRateMatchesAnalytic) {
+    Mmpp m = Mmpp::two_state(0.2, 0.8, 1.0, 9.0);
+    RandomStream rng(5);
+    const auto times = collect(m, rng, 200000);
+    EXPECT_NEAR(empirical_rate(times), m.mean_rate(), 0.1 * m.mean_rate());
+}
+
+TEST(Mmpp, PoissonSpecialCaseIdcOne) {
+    hap::numerics::Matrix q{{0.0}};
+    Mmpp m(q, {4.0});
+    EXPECT_NEAR(m.asymptotic_idc(), 1.0, 1e-12);
+    EXPECT_NEAR(m.mean_rate(), 4.0, 1e-12);
+}
+
+TEST(Mmpp, SwitchedProcessIdcAboveOne) {
+    Mmpp m = Mmpp::two_state(0.1, 0.9, 0.0, 10.0);  // interrupted Poisson
+    const double idc = m.asymptotic_idc();
+    EXPECT_GT(idc, 2.0);
+    // Closed form for IPP: IDC_inf = 1 + 2 r lambda_on^2 ... cross-check
+    // against the simulated IDC at a long window.
+    RandomStream rng(6);
+    const auto times = collect(m, rng, 400000);
+    const double sim_idc = hap::stats::index_of_dispersion(times, 200.0);
+    EXPECT_NEAR(sim_idc, idc, 0.25 * idc);
+}
+
+TEST(PacketTrain, MeanRate) {
+    PacketTrainSource src(0.5, 0.8, 0.01);  // mean length 5
+    RandomStream rng(7);
+    const auto times = collect(src, rng, 200000);
+    EXPECT_NEAR(empirical_rate(times), src.mean_rate(), 0.05 * src.mean_rate());
+}
+
+TEST(PacketTrain, TrainsAreBursty) {
+    PacketTrainSource src(0.1, 0.9, 0.001);
+    RandomStream rng(8);
+    const auto times = collect(src, rng, 100000);
+    EXPECT_GT(hap::stats::interarrival_scv(times), 3.0);
+}
+
+TEST(Superposition, RateAdds) {
+    std::vector<hap::traffic::ArrivalProcessPtr> sources;
+    sources.push_back(std::make_unique<PoissonSource>(2.0));
+    sources.push_back(std::make_unique<PoissonSource>(3.0));
+    SuperpositionSource sup(std::move(sources));
+    EXPECT_NEAR(sup.mean_rate(), 5.0, 1e-12);
+    RandomStream rng(9);
+    const auto times = collect(sup, rng, 100000);
+    EXPECT_NEAR(empirical_rate(times), 5.0, 0.1);
+    // Superposed Poisson is Poisson: IDC stays 1.
+    EXPECT_NEAR(hap::stats::index_of_dispersion(times, 5.0), 1.0, 0.1);
+}
+
+TEST(Superposition, SmoothsIndependentOnOff) {
+    // The paper: multiplexing INDEPENDENT sources reduces burstiness —
+    // opposite of HAP's correlated hierarchy. IDC of the superposition of n
+    // iid on-off sources equals the single-source IDC, but the interarrival
+    // SCV drops toward Poisson.
+    RandomStream rng(10);
+    OnOffSource one(0.1, 0.9, 30.0);
+    const auto t1 = collect(one, rng, 50000);
+    std::vector<hap::traffic::ArrivalProcessPtr> sources;
+    for (int i = 0; i < 10; ++i)
+        sources.push_back(std::make_unique<OnOffSource>(0.1, 0.9, 30.0));
+    SuperpositionSource sup(std::move(sources));
+    const auto t10 = collect(sup, rng, 200000);
+    EXPECT_LT(hap::stats::interarrival_scv(t10), hap::stats::interarrival_scv(t1));
+}
+
+TEST(Superposition, MergedStreamIsSorted) {
+    std::vector<hap::traffic::ArrivalProcessPtr> sources;
+    sources.push_back(std::make_unique<PoissonSource>(1.0));
+    sources.push_back(std::make_unique<PacketTrainSource>(0.3, 0.7, 0.05));
+    SuperpositionSource sup(std::move(sources));
+    RandomStream rng(11);
+    double prev = -1.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double t = sup.next(rng);
+        ASSERT_GE(t, prev);
+        prev = t;
+    }
+}
+
+}  // namespace
