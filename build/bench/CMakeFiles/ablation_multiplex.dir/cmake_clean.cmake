@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiplex.dir/ablation_multiplex.cpp.o"
+  "CMakeFiles/ablation_multiplex.dir/ablation_multiplex.cpp.o.d"
+  "ablation_multiplex"
+  "ablation_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

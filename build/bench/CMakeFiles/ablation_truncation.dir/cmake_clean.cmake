@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_truncation.dir/ablation_truncation.cpp.o"
+  "CMakeFiles/ablation_truncation.dir/ablation_truncation.cpp.o.d"
+  "ablation_truncation"
+  "ablation_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_delay_vs_capacity.dir/fig11_delay_vs_capacity.cpp.o"
+  "CMakeFiles/fig11_delay_vs_capacity.dir/fig11_delay_vs_capacity.cpp.o.d"
+  "fig11_delay_vs_capacity"
+  "fig11_delay_vs_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_delay_vs_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

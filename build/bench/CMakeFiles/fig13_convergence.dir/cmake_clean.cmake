@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_convergence.dir/fig13_convergence.cpp.o"
+  "CMakeFiles/fig13_convergence.dir/fig13_convergence.cpp.o.d"
+  "fig13_convergence"
+  "fig13_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

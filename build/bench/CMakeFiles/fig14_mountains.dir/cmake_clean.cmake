@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mountains.dir/fig14_mountains.cpp.o"
+  "CMakeFiles/fig14_mountains.dir/fig14_mountains.cpp.o.d"
+  "fig14_mountains"
+  "fig14_mountains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mountains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_17_peak_busy_period.dir/fig15_17_peak_busy_period.cpp.o"
+  "CMakeFiles/fig15_17_peak_busy_period.dir/fig15_17_peak_busy_period.cpp.o.d"
+  "fig15_17_peak_busy_period"
+  "fig15_17_peak_busy_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_17_peak_busy_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

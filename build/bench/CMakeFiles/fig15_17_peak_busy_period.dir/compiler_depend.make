@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_17_peak_busy_period.
+# This may be replaced when dependencies are built.

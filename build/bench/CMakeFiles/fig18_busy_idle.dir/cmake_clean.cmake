@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_busy_idle.dir/fig18_busy_idle.cpp.o"
+  "CMakeFiles/fig18_busy_idle.dir/fig18_busy_idle.cpp.o.d"
+  "fig18_busy_idle"
+  "fig18_busy_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_busy_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

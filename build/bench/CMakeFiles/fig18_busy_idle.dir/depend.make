@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_busy_idle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_levels.dir/fig19_levels.cpp.o"
+  "CMakeFiles/fig19_levels.dir/fig19_levels.cpp.o.d"
+  "fig19_levels"
+  "fig19_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

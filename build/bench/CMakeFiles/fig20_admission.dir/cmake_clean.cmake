@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_admission.dir/fig20_admission.cpp.o"
+  "CMakeFiles/fig20_admission.dir/fig20_admission.cpp.o.d"
+  "fig20_admission"
+  "fig20_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

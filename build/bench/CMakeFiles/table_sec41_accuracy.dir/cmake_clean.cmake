@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sec41_accuracy.dir/table_sec41_accuracy.cpp.o"
+  "CMakeFiles/table_sec41_accuracy.dir/table_sec41_accuracy.cpp.o.d"
+  "table_sec41_accuracy"
+  "table_sec41_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sec41_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sec4_solutions.dir/table_sec4_solutions.cpp.o"
+  "CMakeFiles/table_sec4_solutions.dir/table_sec4_solutions.cpp.o.d"
+  "table_sec4_solutions"
+  "table_sec4_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sec4_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

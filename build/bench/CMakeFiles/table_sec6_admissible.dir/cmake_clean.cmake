@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sec6_admissible.dir/table_sec6_admissible.cpp.o"
+  "CMakeFiles/table_sec6_admissible.dir/table_sec6_admissible.cpp.o.d"
+  "table_sec6_admissible"
+  "table_sec6_admissible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sec6_admissible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadband_admission.dir/broadband_admission.cpp.o"
+  "CMakeFiles/broadband_admission.dir/broadband_admission.cpp.o.d"
+  "broadband_admission"
+  "broadband_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadband_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_workload.dir/multimedia_workload.cpp.o"
+  "CMakeFiles/multimedia_workload.dir/multimedia_workload.cpp.o.d"
+  "multimedia_workload"
+  "multimedia_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_equivalence.dir/onoff_equivalence.cpp.o"
+  "CMakeFiles/onoff_equivalence.dir/onoff_equivalence.cpp.o.d"
+  "onoff_equivalence"
+  "onoff_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

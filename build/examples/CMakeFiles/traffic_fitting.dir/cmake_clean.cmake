@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_fitting.dir/traffic_fitting.cpp.o"
+  "CMakeFiles/traffic_fitting.dir/traffic_fitting.cpp.o.d"
+  "traffic_fitting"
+  "traffic_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

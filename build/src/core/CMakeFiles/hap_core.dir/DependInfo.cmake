@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/hap_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/hap_chain.cpp" "src/core/CMakeFiles/hap_core.dir/hap_chain.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/hap_chain.cpp.o.d"
+  "/root/repo/src/core/hap_cs.cpp" "src/core/CMakeFiles/hap_core.dir/hap_cs.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/hap_cs.cpp.o.d"
+  "/root/repo/src/core/hap_fit.cpp" "src/core/CMakeFiles/hap_core.dir/hap_fit.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/hap_fit.cpp.o.d"
+  "/root/repo/src/core/hap_instance_sim.cpp" "src/core/CMakeFiles/hap_core.dir/hap_instance_sim.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/hap_instance_sim.cpp.o.d"
+  "/root/repo/src/core/hap_params.cpp" "src/core/CMakeFiles/hap_core.dir/hap_params.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/hap_params.cpp.o.d"
+  "/root/repo/src/core/hap_sim.cpp" "src/core/CMakeFiles/hap_core.dir/hap_sim.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/hap_sim.cpp.o.d"
+  "/root/repo/src/core/solution0.cpp" "src/core/CMakeFiles/hap_core.dir/solution0.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/solution0.cpp.o.d"
+  "/root/repo/src/core/solution1.cpp" "src/core/CMakeFiles/hap_core.dir/solution1.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/solution1.cpp.o.d"
+  "/root/repo/src/core/solution2.cpp" "src/core/CMakeFiles/hap_core.dir/solution2.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/solution2.cpp.o.d"
+  "/root/repo/src/core/solution3.cpp" "src/core/CMakeFiles/hap_core.dir/solution3.cpp.o" "gcc" "src/core/CMakeFiles/hap_core.dir/solution3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/markov/CMakeFiles/hap_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/hap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hap_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/hap_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_core.dir/admission.cpp.o"
+  "CMakeFiles/hap_core.dir/admission.cpp.o.d"
+  "CMakeFiles/hap_core.dir/hap_chain.cpp.o"
+  "CMakeFiles/hap_core.dir/hap_chain.cpp.o.d"
+  "CMakeFiles/hap_core.dir/hap_cs.cpp.o"
+  "CMakeFiles/hap_core.dir/hap_cs.cpp.o.d"
+  "CMakeFiles/hap_core.dir/hap_fit.cpp.o"
+  "CMakeFiles/hap_core.dir/hap_fit.cpp.o.d"
+  "CMakeFiles/hap_core.dir/hap_instance_sim.cpp.o"
+  "CMakeFiles/hap_core.dir/hap_instance_sim.cpp.o.d"
+  "CMakeFiles/hap_core.dir/hap_params.cpp.o"
+  "CMakeFiles/hap_core.dir/hap_params.cpp.o.d"
+  "CMakeFiles/hap_core.dir/hap_sim.cpp.o"
+  "CMakeFiles/hap_core.dir/hap_sim.cpp.o.d"
+  "CMakeFiles/hap_core.dir/solution0.cpp.o"
+  "CMakeFiles/hap_core.dir/solution0.cpp.o.d"
+  "CMakeFiles/hap_core.dir/solution1.cpp.o"
+  "CMakeFiles/hap_core.dir/solution1.cpp.o.d"
+  "CMakeFiles/hap_core.dir/solution2.cpp.o"
+  "CMakeFiles/hap_core.dir/solution2.cpp.o.d"
+  "CMakeFiles/hap_core.dir/solution3.cpp.o"
+  "CMakeFiles/hap_core.dir/solution3.cpp.o.d"
+  "libhap_core.a"
+  "libhap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_markov.dir/ctmc.cpp.o"
+  "CMakeFiles/hap_markov.dir/ctmc.cpp.o.d"
+  "CMakeFiles/hap_markov.dir/qbd.cpp.o"
+  "CMakeFiles/hap_markov.dir/qbd.cpp.o.d"
+  "libhap_markov.a"
+  "libhap_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_numerics.dir/laplace.cpp.o"
+  "CMakeFiles/hap_numerics.dir/laplace.cpp.o.d"
+  "CMakeFiles/hap_numerics.dir/matrix.cpp.o"
+  "CMakeFiles/hap_numerics.dir/matrix.cpp.o.d"
+  "CMakeFiles/hap_numerics.dir/quadrature.cpp.o"
+  "CMakeFiles/hap_numerics.dir/quadrature.cpp.o.d"
+  "CMakeFiles/hap_numerics.dir/roots.cpp.o"
+  "CMakeFiles/hap_numerics.dir/roots.cpp.o.d"
+  "libhap_numerics.a"
+  "libhap_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

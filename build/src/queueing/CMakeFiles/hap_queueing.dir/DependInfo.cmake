@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/gm1.cpp" "src/queueing/CMakeFiles/hap_queueing.dir/gm1.cpp.o" "gcc" "src/queueing/CMakeFiles/hap_queueing.dir/gm1.cpp.o.d"
+  "/root/repo/src/queueing/mm1.cpp" "src/queueing/CMakeFiles/hap_queueing.dir/mm1.cpp.o" "gcc" "src/queueing/CMakeFiles/hap_queueing.dir/mm1.cpp.o.d"
+  "/root/repo/src/queueing/multiclass_sim.cpp" "src/queueing/CMakeFiles/hap_queueing.dir/multiclass_sim.cpp.o" "gcc" "src/queueing/CMakeFiles/hap_queueing.dir/multiclass_sim.cpp.o.d"
+  "/root/repo/src/queueing/queue_sim.cpp" "src/queueing/CMakeFiles/hap_queueing.dir/queue_sim.cpp.o" "gcc" "src/queueing/CMakeFiles/hap_queueing.dir/queue_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/hap_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hap_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

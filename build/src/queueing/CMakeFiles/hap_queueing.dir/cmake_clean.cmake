@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_queueing.dir/gm1.cpp.o"
+  "CMakeFiles/hap_queueing.dir/gm1.cpp.o.d"
+  "CMakeFiles/hap_queueing.dir/mm1.cpp.o"
+  "CMakeFiles/hap_queueing.dir/mm1.cpp.o.d"
+  "CMakeFiles/hap_queueing.dir/multiclass_sim.cpp.o"
+  "CMakeFiles/hap_queueing.dir/multiclass_sim.cpp.o.d"
+  "CMakeFiles/hap_queueing.dir/queue_sim.cpp.o"
+  "CMakeFiles/hap_queueing.dir/queue_sim.cpp.o.d"
+  "libhap_queueing.a"
+  "libhap_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

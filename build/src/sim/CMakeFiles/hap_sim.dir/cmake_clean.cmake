@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_sim.dir/distributions.cpp.o"
+  "CMakeFiles/hap_sim.dir/distributions.cpp.o.d"
+  "CMakeFiles/hap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hap_sim.dir/simulator.cpp.o.d"
+  "libhap_sim.a"
+  "libhap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_stats.dir/busy_period.cpp.o"
+  "CMakeFiles/hap_stats.dir/busy_period.cpp.o.d"
+  "CMakeFiles/hap_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hap_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hap_stats.dir/online_stats.cpp.o"
+  "CMakeFiles/hap_stats.dir/online_stats.cpp.o.d"
+  "CMakeFiles/hap_stats.dir/series.cpp.o"
+  "CMakeFiles/hap_stats.dir/series.cpp.o.d"
+  "libhap_stats.a"
+  "libhap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/arrival_log.cpp" "src/trace/CMakeFiles/hap_trace.dir/arrival_log.cpp.o" "gcc" "src/trace/CMakeFiles/hap_trace.dir/arrival_log.cpp.o.d"
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/hap_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/hap_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/hap_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/hap_trace.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/hap_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/hap_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hap_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_trace.dir/arrival_log.cpp.o"
+  "CMakeFiles/hap_trace.dir/arrival_log.cpp.o.d"
+  "CMakeFiles/hap_trace.dir/csv.cpp.o"
+  "CMakeFiles/hap_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/hap_trace.dir/recorder.cpp.o"
+  "CMakeFiles/hap_trace.dir/recorder.cpp.o.d"
+  "libhap_trace.a"
+  "libhap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

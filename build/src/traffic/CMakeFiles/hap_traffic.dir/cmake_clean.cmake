@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_traffic.dir/fitting.cpp.o"
+  "CMakeFiles/hap_traffic.dir/fitting.cpp.o.d"
+  "CMakeFiles/hap_traffic.dir/mmpp.cpp.o"
+  "CMakeFiles/hap_traffic.dir/mmpp.cpp.o.d"
+  "libhap_traffic.a"
+  "libhap_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm1_wait_test.dir/gm1_wait_test.cpp.o"
+  "CMakeFiles/gm1_wait_test.dir/gm1_wait_test.cpp.o.d"
+  "gm1_wait_test"
+  "gm1_wait_test.pdb"
+  "gm1_wait_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm1_wait_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hap_chain_test.cpp" "tests/CMakeFiles/hap_chain_test.dir/hap_chain_test.cpp.o" "gcc" "tests/CMakeFiles/hap_chain_test.dir/hap_chain_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/hap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/hap_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hap_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/hap_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

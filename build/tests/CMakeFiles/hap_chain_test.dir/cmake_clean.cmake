@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_chain_test.dir/hap_chain_test.cpp.o"
+  "CMakeFiles/hap_chain_test.dir/hap_chain_test.cpp.o.d"
+  "hap_chain_test"
+  "hap_chain_test.pdb"
+  "hap_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

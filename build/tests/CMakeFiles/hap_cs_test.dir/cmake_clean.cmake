@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_cs_test.dir/hap_cs_test.cpp.o"
+  "CMakeFiles/hap_cs_test.dir/hap_cs_test.cpp.o.d"
+  "hap_cs_test"
+  "hap_cs_test.pdb"
+  "hap_cs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_cs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

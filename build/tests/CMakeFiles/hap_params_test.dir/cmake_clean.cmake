@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_params_test.dir/hap_params_test.cpp.o"
+  "CMakeFiles/hap_params_test.dir/hap_params_test.cpp.o.d"
+  "hap_params_test"
+  "hap_params_test.pdb"
+  "hap_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

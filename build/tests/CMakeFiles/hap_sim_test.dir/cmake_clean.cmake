@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_sim_test.dir/hap_sim_test.cpp.o"
+  "CMakeFiles/hap_sim_test.dir/hap_sim_test.cpp.o.d"
+  "hap_sim_test"
+  "hap_sim_test.pdb"
+  "hap_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmpp_sampling_test.dir/mmpp_sampling_test.cpp.o"
+  "CMakeFiles/mmpp_sampling_test.dir/mmpp_sampling_test.cpp.o.d"
+  "mmpp_sampling_test"
+  "mmpp_sampling_test.pdb"
+  "mmpp_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmpp_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

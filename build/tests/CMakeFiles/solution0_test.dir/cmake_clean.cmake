@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution0_test.dir/solution0_test.cpp.o"
+  "CMakeFiles/solution0_test.dir/solution0_test.cpp.o.d"
+  "solution0_test"
+  "solution0_test.pdb"
+  "solution0_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

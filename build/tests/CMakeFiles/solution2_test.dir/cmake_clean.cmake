@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution2_test.dir/solution2_test.cpp.o"
+  "CMakeFiles/solution2_test.dir/solution2_test.cpp.o.d"
+  "solution2_test"
+  "solution2_test.pdb"
+  "solution2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

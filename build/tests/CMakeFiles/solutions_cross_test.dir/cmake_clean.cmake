@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solutions_cross_test.dir/solutions_cross_test.cpp.o"
+  "CMakeFiles/solutions_cross_test.dir/solutions_cross_test.cpp.o.d"
+  "solutions_cross_test"
+  "solutions_cross_test.pdb"
+  "solutions_cross_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solutions_cross_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

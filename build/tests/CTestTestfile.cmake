@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/numerics_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/markov_test[1]_include.cmake")
+include("/root/repo/build/tests/queueing_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/hap_params_test[1]_include.cmake")
+include("/root/repo/build/tests/hap_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/solution2_test[1]_include.cmake")
+include("/root/repo/build/tests/solutions_cross_test[1]_include.cmake")
+include("/root/repo/build/tests/hap_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hap_cs_test[1]_include.cmake")
+include("/root/repo/build/tests/admission_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/solution0_test[1]_include.cmake")
+include("/root/repo/build/tests/gm1_wait_test[1]_include.cmake")
+include("/root/repo/build/tests/mmpp_sampling_test[1]_include.cmake")

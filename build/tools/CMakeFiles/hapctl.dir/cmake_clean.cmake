@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hapctl.dir/hapctl.cpp.o"
+  "CMakeFiles/hapctl.dir/hapctl.cpp.o.d"
+  "hapctl"
+  "hapctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hapctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
