@@ -2,41 +2,72 @@
 // lambda-bar = 8.25. Paper anchors: HAP only 15.22% above Poisson at
 // mu'' = 30, but ~200x at 64% utilization (mu'' ~ 13). Exact values come from
 // simulation (the paper's Solution 0 agrees with simulation within 5%).
+//
+// Each capacity point runs HAP_BENCH_REPS replications on the experiment
+// pool; `--json PATH` / HAP_BENCH_JSON writes hap.bench.result/v1 output.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/hap.hpp"
 #include "queueing/mm1.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hap::core;
+    using namespace hap::experiment;
     hap::bench::header("Figure 11", "average delay vs server capacity, lambda-bar = 8.25");
     hap::bench::paper_note("HAP/Poisson ratio: 1.15x at mu''=30, ~200x at rho=0.64");
 
-    std::printf("%8s %8s %12s %12s %12s %10s %10s\n", "mu''", "rho", "HAP sim T",
-                "Sol2 T", "M/M/1 T", "sim ratio", "sigma2");
-
-    for (double mu : {13.0, 14.0, 15.0, 17.0, 20.0, 25.0, 30.0, 40.0, 50.0}) {
-        const HapParams p = HapParams::paper_baseline(mu);
-        const hap::queueing::Mm1 mm1(8.25, mu);
-
-        hap::sim::RandomStream rng(1100 + static_cast<std::uint64_t>(mu));
-        HapSimOptions opts;
+    const std::vector<double> capacities{13.0, 14.0, 15.0, 17.0, 20.0,
+                                         25.0, 30.0, 40.0, 50.0};
+    std::vector<Scenario> grid;
+    for (double mu : capacities) {
+        Scenario sc;
+        char name[32];
+        std::snprintf(name, sizeof(name), "fig11.mu=%.0f", mu);
+        sc.name = name;
+        sc.params = HapParams::paper_baseline(mu);
+        sc.warmup = 5e4;
         // Heavy loads fluctuate wildly (Fig. 13!): give them longer runs.
-        opts.horizon = (mu < 16.0 ? 6e6 : 2e6) * hap::bench::scale();
-        opts.warmup = 5e4;
-        const auto sim = simulate_hap_queue(p, rng, opts);
+        sc.horizon = sc.warmup +
+                     hap::bench::rep_horizon(mu < 16.0 ? 6e6 : 2e6, sc.warmup);
+        sc.replications = hap::bench::replications();
+        grid.push_back(std::move(sc));
+    }
 
-        const Solution2 s2(p);
+    const ExperimentRunner runner;
+    const std::vector<MergedResult> results = runner.run_all(grid);
+
+    JsonWriter json("fig11_delay_vs_capacity");
+    std::printf("%8s %8s %22s %12s %12s %10s %10s\n", "mu''", "rho",
+                "HAP sim T (95% CI)", "Sol2 T", "M/M/1 T", "sim ratio", "sigma2");
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const double mu = capacities[i];
+        const hap::queueing::Mm1 mm1(8.25, mu);
+        const Solution2 s2(grid[i].params);
         const auto q2 = s2.solve_queue(mu);
+        const MergedResult& m = results[i];
 
-        std::printf("%8.1f %8.3f %12.4f %12.4f %12.4f %9.1fx %10.3f\n", mu,
-                    8.25 / mu, sim.delay.mean(), q2.mean_delay, mm1.mean_delay(),
-                    sim.delay.mean() / mm1.mean_delay(), q2.sigma);
+        std::printf("%8.1f %8.3f %22s %12.4f %12.4f %9.1fx %10.3f\n", mu, 8.25 / mu,
+                    hap::bench::fmt_ci(m.delay_mean).c_str(), q2.mean_delay,
+                    mm1.mean_delay(), m.delay_mean.mean / mm1.mean_delay(), q2.sigma);
+
+        Json point = JsonWriter::point(grid[i].name);
+        Json params = Json::object();
+        params.set("mu", Json::number(mu));
+        params.set("rho", Json::number(8.25 / mu));
+        point.set("params", std::move(params));
+        point.set("metrics", metrics_json(m));
+        point.set("sol2_delay", Json::number(q2.mean_delay));
+        point.set("sol2_sigma", Json::number(q2.sigma));
+        point.set("mm1_delay", Json::number(mm1.mean_delay()));
+        json.add_point(std::move(point));
     }
 
     std::printf("\nShape check: the HAP/Poisson ratio is modest at low utilization\n"
                 "and explodes by 1-2 orders of magnitude as rho approaches 0.6+,\n"
                 "while Solution 2 (correlation-free) stays near the Poisson curve.\n");
+    hap::bench::finish_json(json, hap::bench::json_path(argc, argv));
     return 0;
 }

@@ -2,44 +2,78 @@
 // capacity mu'' = 17. The workload is scaled through the user arrival rate
 // lambda (as the paper does: "we adjust the load, by changing lambda, while
 // keeping the server capacity fixed").
+//
+// Each load point runs HAP_BENCH_REPS independent replications on the
+// experiment pool; delays are reported as mean +/- 95% CI. `--json PATH` (or
+// HAP_BENCH_JSON) writes the hap.bench.result/v1 document.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/hap.hpp"
 #include "queueing/mm1.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hap::core;
+    using namespace hap::experiment;
     hap::bench::header("Figure 12", "average delay vs arrival rate, mu'' = 17");
     hap::bench::paper_note("delay diverges from Poisson as lambda-bar grows toward capacity");
 
     const double mu = 17.0;
-    std::printf("%10s %12s %8s %12s %12s %12s %10s\n", "lambda", "lambda-bar", "rho",
-                "HAP sim T", "Sol2 T", "M/M/1 T", "ratio");
+    const std::vector<double> scales{0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.3};
 
-    for (double scale : {0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.3}) {
-        HapParams p = HapParams::paper_baseline(mu);
-        p.user_arrival_rate *= scale;
+    std::vector<Scenario> grid;
+    for (double scale : scales) {
+        Scenario sc;
+        char name[32];
+        std::snprintf(name, sizeof(name), "fig12.load=%.2f", scale);
+        sc.name = name;
+        sc.params = HapParams::paper_baseline(mu);
+        sc.params.user_arrival_rate *= scale;
+        sc.warmup = 5e4;
+        sc.horizon = sc.warmup + hap::bench::rep_horizon(
+                                     sc.params.offered_load() > 0.55 ? 6e6 : 2e6,
+                                     sc.warmup);
+        sc.replications = hap::bench::replications();
+        grid.push_back(std::move(sc));
+    }
+
+    const ExperimentRunner runner;
+    const std::vector<MergedResult> results = runner.run_all(grid);
+
+    JsonWriter json("fig12_delay_vs_load");
+    std::printf("%10s %12s %8s %22s %12s %12s %10s\n", "lambda", "lambda-bar", "rho",
+                "HAP sim T (95% CI)", "Sol2 T", "M/M/1 T", "ratio");
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const HapParams& p = grid[i].params;
         const double lbar = p.mean_message_rate();
         const hap::queueing::Mm1 mm1(lbar, mu);
-
-        hap::sim::RandomStream rng(1200 + static_cast<std::uint64_t>(scale * 100));
-        HapSimOptions opts;
-        opts.horizon = (p.offered_load() > 0.55 ? 6e6 : 2e6) * hap::bench::scale();
-        opts.warmup = 5e4;
-        const auto sim = simulate_hap_queue(p, rng, opts);
-
         const Solution2 s2(p);
         const auto q2 = s2.solve_queue(mu);
+        const MergedResult& m = results[i];
 
-        std::printf("%10.5f %12.3f %8.3f %12.4f %12.4f %12.4f %9.1fx\n",
-                    p.user_arrival_rate, lbar, lbar / mu, sim.delay.mean(),
-                    q2.mean_delay, mm1.mean_delay(),
-                    sim.delay.mean() / mm1.mean_delay());
+        std::printf("%10.5f %12.3f %8.3f %22s %12.4f %12.4f %9.1fx\n",
+                    p.user_arrival_rate, lbar, lbar / mu,
+                    hap::bench::fmt_ci(m.delay_mean).c_str(), q2.mean_delay,
+                    mm1.mean_delay(), m.delay_mean.mean / mm1.mean_delay());
+
+        Json point = JsonWriter::point(grid[i].name);
+        Json params = Json::object();
+        params.set("lambda", Json::number(p.user_arrival_rate));
+        params.set("lambda_bar", Json::number(lbar));
+        params.set("rho", Json::number(lbar / mu));
+        params.set("mu", Json::number(mu));
+        point.set("params", std::move(params));
+        point.set("metrics", metrics_json(m));
+        point.set("sol2_delay", Json::number(q2.mean_delay));
+        point.set("mm1_delay", Json::number(mm1.mean_delay()));
+        json.add_point(std::move(point));
     }
 
     std::printf("\nShape check: same law as Fig. 11 from the workload side — the\n"
                 "HAP delay and the HAP/Poisson gap both grow super-linearly in\n"
                 "the offered load.\n");
+    hap::bench::finish_json(json, hap::bench::json_path(argc, argv));
     return 0;
 }

@@ -2,6 +2,12 @@
 // refuses to settle, unlike Poisson, because the system compounds processes
 // at time scales from milliseconds (messages) to tens of minutes (users) and
 // occasionally falls into long congestion events.
+//
+// Replicated version: every replication computes the relative spread of its
+// running mean over the last half of the run (a converged estimator pins this
+// near 0); the table shows replication 0's trajectory and the summary reports
+// the spread as mean +/- 95% CI over HAP_BENCH_REPS replications.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -26,55 +32,83 @@ std::vector<double> running_means(const std::vector<double>& delays,
     return out;
 }
 
-double spread(const std::vector<double>& tail) {
-    double lo = tail.front(), hi = tail.front();
-    for (double v : tail) {
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
+// Relative spread of the running mean over the last half of the run.
+double tail_spread(const std::vector<double>& means) {
+    if (means.size() < 2) return 0.0;
+    double lo = means[means.size() / 2], hi = lo;
+    for (std::size_t i = means.size() / 2; i < means.size(); ++i) {
+        lo = std::min(lo, means[i]);
+        hi = std::max(hi, means[i]);
     }
     return (hi - lo) / ((hi + lo) / 2.0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hap::core;
+    using namespace hap::experiment;
     hap::bench::header("Figure 13", "running-average delay fluctuation, HAP vs Poisson");
     hap::bench::paper_note("HAP's running mean swings for the whole run; Poisson settles");
 
     const double mu = 17.0;
-    const double horizon = 4e6 * hap::bench::scale();
 
-    HapSimOptions hopts;
-    hopts.horizon = horizon;
-    hopts.record_delays = true;
-    hap::sim::RandomStream rng(1300);
-    const auto hap_run = simulate_hap_queue(HapParams::paper_baseline(mu), rng, hopts);
+    Scenario hap_sc;
+    hap_sc.name = "fig13.hap";
+    hap_sc.params = HapParams::paper_baseline(mu);
+    hap_sc.warmup = 0.0;
+    hap_sc.horizon = hap::bench::rep_horizon(4e6, 1e4);
+    hap_sc.replications = hap::bench::replications();
+    hap_sc.record_delays = true;
 
-    hap::traffic::PoissonSource poisson(8.25);
-    hap::sim::Exponential service(mu);
-    hap::sim::RandomStream rng2(1301);
-    hap::queueing::QueueSimOptions popts;
-    popts.horizon = horizon;
-    popts.record_delays = true;
-    const auto poi_run = simulate_queue(poisson, service, rng2, popts);
+    Scenario poi_sc = hap_sc;  // same window/replication plan, distinct streams
+    poi_sc.name = "fig13.poisson";
 
-    const auto hap_means = running_means(hap_run.delays, 20);
-    const auto poi_means = running_means(poi_run.delays, 20);
+    const ExperimentRunner runner;
+    const auto hap_runs = runner.replicate(hap_sc);
+    const auto poi_runs = runner.replicate(
+        poi_sc, [mu](const Scenario& sc, std::uint64_t run_id, hap::sim::RandomStream& rng) {
+            hap::traffic::PoissonSource poisson(8.25);
+            const hap::sim::Exponential service(mu);
+            hap::queueing::QueueSimOptions o;
+            o.horizon = sc.horizon;
+            o.warmup = sc.warmup;
+            o.record_delays = sc.record_delays;
+            return ReplicationResult::from(run_id,
+                                           simulate_queue(poisson, service, rng, o),
+                                           sc.warmup);
+        });
 
+    const auto hap_means = running_means(hap_runs[0].delays, 20);
+    const auto poi_means = running_means(poi_runs[0].delays, 20);
+    std::printf("replication 0 of %zu:\n", hap_runs.size());
     std::printf("%12s %14s %14s\n", "progress", "HAP run-mean", "Poisson run-mean");
     for (std::size_t i = 0; i < std::min(hap_means.size(), poi_means.size()); ++i)
         std::printf("%11zu%% %14.4f %14.4f\n", (i + 1) * 5, hap_means[i], poi_means[i]);
 
-    // Fluctuation metric: relative spread of the running mean over the last
-    // half of the run (a converged estimator pins this near 0).
-    const std::vector<double> hap_tail(hap_means.begin() + hap_means.size() / 2,
-                                       hap_means.end());
-    const std::vector<double> poi_tail(poi_means.begin() + poi_means.size() / 2,
-                                       poi_means.end());
-    std::printf("\nrelative spread of the running mean over the last half:\n");
-    std::printf("  HAP     %.3f\n  Poisson %.3f\n", spread(hap_tail), spread(poi_tail));
+    hap::stats::OnlineStats hap_spreads, poi_spreads;
+    for (const auto& r : hap_runs) hap_spreads.add(tail_spread(running_means(r.delays, 20)));
+    for (const auto& r : poi_runs) poi_spreads.add(tail_spread(running_means(r.delays, 20)));
+    const Estimate hap_est = Estimate::from_replication_means(hap_spreads);
+    const Estimate poi_est = Estimate::from_replication_means(poi_spreads);
+
+    std::printf("\nrelative spread of the running mean over the last half\n"
+                "(per replication, mean +/- 95%% CI over %zu replications):\n",
+                hap_runs.size());
+    std::printf("  HAP     %s\n  Poisson %s\n", hap::bench::fmt_ci(hap_est, "%.3f").c_str(),
+                hap::bench::fmt_ci(poi_est, "%.3f").c_str());
     std::printf("\nShape check: the HAP spread stays an order of magnitude above\n"
                 "Poisson's — the convergence difficulty the paper reports.\n");
+
+    JsonWriter json("fig13_convergence");
+    Json hap_point = JsonWriter::point(hap_sc.name);
+    hap_point.set("tail_spread", to_json(hap_est));
+    hap_point.set("metrics", metrics_json(MergedResult::merge(hap_runs)));
+    json.add_point(std::move(hap_point));
+    Json poi_point = JsonWriter::point(poi_sc.name);
+    poi_point.set("tail_spread", to_json(poi_est));
+    poi_point.set("metrics", metrics_json(MergedResult::merge(poi_runs)));
+    json.add_point(std::move(poi_point));
+    hap::bench::finish_json(json, hap::bench::json_path(argc, argv));
     return 0;
 }

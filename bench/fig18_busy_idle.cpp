@@ -2,6 +2,10 @@
 // lambda-bar = 8.25 and mu'' = 15 (both ~55% busy). Paper anchors: means only
 // slightly higher for HAP, but variances 618x (busy), 15x (idle), 66x
 // (height) larger, and ~19% fewer mountains over the same horizon.
+//
+// Replicated version: both systems run HAP_BENCH_REPS replications on the
+// experiment pool; the table shows the pooled statistics, plus 95% CIs for
+// the headline means.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -9,29 +13,39 @@
 #include "queueing/queue_sim.hpp"
 #include "traffic/poisson.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hap::core;
+    using namespace hap::experiment;
     hap::bench::header("Figure 18", "busy/idle periods: HAP vs Poisson, mu''=15");
     hap::bench::paper_note(
         "variance ratios ~618x busy, ~15x idle, ~66x height; ~19% fewer "
         "mountains; both ~55% busy");
 
     const double mu = 15.0;
-    const double horizon = 6e6 * hap::bench::scale();
 
-    hap::sim::RandomStream rng(1800);
-    HapSimOptions hopts;
-    hopts.horizon = horizon;
-    hopts.warmup = 5e4;
-    const auto hap_res = simulate_hap_queue(HapParams::paper_baseline(mu), rng, hopts);
+    Scenario hap_sc;
+    hap_sc.name = "fig18.hap";
+    hap_sc.params = HapParams::paper_baseline(mu);
+    hap_sc.warmup = 5e4;
+    hap_sc.horizon = hap_sc.warmup + hap::bench::rep_horizon(6e6, hap_sc.warmup);
+    hap_sc.replications = hap::bench::replications();
 
-    hap::traffic::PoissonSource poisson(8.25);
-    hap::sim::Exponential service(mu);
-    hap::sim::RandomStream rng2(1801);
-    hap::queueing::QueueSimOptions popts;
-    popts.horizon = horizon;
-    popts.warmup = 5e4;
-    const auto poi_res = simulate_queue(poisson, service, rng2, popts);
+    Scenario poi_sc = hap_sc;
+    poi_sc.name = "fig18.poisson";
+
+    const ExperimentRunner runner;
+    const MergedResult hap_res = runner.run(hap_sc);
+    const MergedResult poi_res = runner.run(
+        poi_sc, [mu](const Scenario& sc, std::uint64_t run_id, hap::sim::RandomStream& rng) {
+            hap::traffic::PoissonSource poisson(8.25);
+            const hap::sim::Exponential service(mu);
+            hap::queueing::QueueSimOptions o;
+            o.horizon = sc.horizon;
+            o.warmup = sc.warmup;
+            return ReplicationResult::from(run_id,
+                                           simulate_queue(poisson, service, rng, o),
+                                           sc.warmup);
+        });
 
     const auto& hb = hap_res.busy;
     const auto& pb = poi_res.busy;
@@ -54,11 +68,23 @@ int main() {
                 static_cast<double>(hb.mountains()) /
                     static_cast<double>(pb.mountains()));
     std::printf("%-26s %13.1f%% %13.1f%%\n", "busy fraction",
-                100.0 * hap_res.utilization, 100.0 * poi_res.utilization);
+                100.0 * hb.busy_fraction(), 100.0 * pb.busy_fraction());
+    std::printf("%-26s %14s %14s\n", "delay T (95% CI)",
+                hap::bench::fmt_ci(hap_res.delay_mean).c_str(),
+                hap::bench::fmt_ci(poi_res.delay_mean).c_str());
 
     std::printf("\nShape check: busy fractions match (~55%%) and the means are\n"
                 "close, but HAP's variances run orders of magnitude higher and\n"
                 "it builds fewer, far bigger mountains — many medium-high\n"
                 "mountains with very long widths, as the paper puts it.\n");
+
+    JsonWriter json("fig18_busy_idle");
+    Json hap_point = JsonWriter::point(hap_sc.name);
+    hap_point.set("metrics", metrics_json(hap_res));
+    json.add_point(std::move(hap_point));
+    Json poi_point = JsonWriter::point(poi_sc.name);
+    poi_point.set("metrics", metrics_json(poi_res));
+    json.add_point(std::move(poi_point));
+    hap::bench::finish_json(json, hap::bench::json_path(argc, argv));
     return 0;
 }

@@ -1,0 +1,9 @@
+// Umbrella header for the experiment engine: scenarios, the parallel
+// replication runner, interval estimates, and JSON result output.
+#pragma once
+
+#include "experiment/json.hpp"
+#include "experiment/json_writer.hpp"
+#include "experiment/result.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"

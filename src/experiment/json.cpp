@@ -1,0 +1,178 @@
+#include "experiment/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hap::experiment {
+
+Json Json::boolean(bool b) {
+    Json j;
+    j.type_ = Type::Bool;
+    j.bool_ = b;
+    return j;
+}
+
+Json Json::number(double v) {
+    Json j;
+    j.type_ = Type::Number;
+    j.num_ = v;
+    return j;
+}
+
+Json Json::integer(std::int64_t v) {
+    Json j;
+    j.type_ = Type::Int;
+    j.int_ = v;
+    return j;
+}
+
+Json Json::string(std::string s) {
+    Json j;
+    j.type_ = Type::String;
+    j.str_ = std::move(s);
+    return j;
+}
+
+Json Json::array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json Json::object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+    if (type_ != Type::Object) throw std::logic_error("Json::set on non-object");
+    for (auto& [k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json& Json::add(Json value) {
+    if (type_ != Type::Array) throw std::logic_error("Json::add on non-array");
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (u < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+    switch (type_) {
+        case Type::Null:
+            out += "null";
+            break;
+        case Type::Bool:
+            out += bool_ ? "true" : "false";
+            break;
+        case Type::Number: {
+            if (!std::isfinite(num_)) {
+                out += "null";  // JSON has no NaN/Inf
+                break;
+            }
+            // Shortest round-trip representation.
+            char buf[32];
+            const auto res = std::to_chars(buf, buf + sizeof(buf), num_);
+            out.append(buf, res.ptr);
+            break;
+        }
+        case Type::Int: {
+            char buf[24];
+            const auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+            out.append(buf, res.ptr);
+            break;
+        }
+        case Type::String:
+            escape_into(out, str_);
+            break;
+        case Type::Array: {
+            if (items_.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                if (i > 0) out += ',';
+                newline_indent(out, indent, depth + 1);
+                items_[i].write(out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out += ']';
+            break;
+        }
+        case Type::Object: {
+            if (members_.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                if (i > 0) out += ',';
+                newline_indent(out, indent, depth + 1);
+                escape_into(out, members_[i].first);
+                out += indent > 0 ? ": " : ":";
+                members_[i].second.write(out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+bool write_json_file(const std::string& path, const Json& doc) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string text = doc.dump(2) + "\n";
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace hap::experiment

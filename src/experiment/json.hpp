@@ -1,0 +1,53 @@
+// Minimal JSON document builder for machine-readable experiment results.
+// Deliberately tiny (no parsing, no external dependency): objects keep
+// insertion order so the emitted schema is stable and diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hap::experiment {
+
+class Json {
+public:
+    enum class Type { Null, Bool, Number, Int, String, Array, Object };
+
+    Json() noexcept : type_(Type::Null) {}
+
+    static Json null() { return Json(); }
+    static Json boolean(bool b);
+    static Json number(double v);  // non-finite values serialize as null
+    static Json integer(std::int64_t v);
+    static Json integer(std::uint64_t v) { return integer(static_cast<std::int64_t>(v)); }
+    static Json string(std::string s);
+    static Json array();
+    static Json object();
+
+    Type type() const noexcept { return type_; }
+
+    // Object: insert or overwrite a key (insertion order preserved).
+    Json& set(const std::string& key, Json value);
+    // Array: append an element.
+    Json& add(Json value);
+
+    // Serialize; indent > 0 pretty-prints with that many spaces per level.
+    std::string dump(int indent = 2) const;
+
+private:
+    void write(std::string& out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::int64_t int_ = 0;
+    std::string str_;
+    std::vector<Json> items_;                              // Array
+    std::vector<std::pair<std::string, Json>> members_;    // Object
+};
+
+// Write `doc` to `path` (pretty-printed, trailing newline); false on I/O error.
+bool write_json_file(const std::string& path, const Json& doc);
+
+}  // namespace hap::experiment

@@ -1,0 +1,90 @@
+#include "experiment/json_writer.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace hap::experiment {
+
+Json to_json(const Estimate& e) {
+    Json j = Json::object();
+    j.set("mean", Json::number(e.mean));
+    j.set("ci95", Json::number(e.half_width));
+    j.set("lo", Json::number(e.lo()));
+    j.set("hi", Json::number(e.hi()));
+    j.set("replications", Json::integer(e.replications));
+    return j;
+}
+
+Json metrics_json(const MergedResult& m) {
+    Json metrics = Json::object();
+    metrics.set("delay", to_json(m.delay_mean));
+    metrics.set("number", to_json(m.number_mean));
+    metrics.set("utilization", to_json(m.utilization));
+    metrics.set("throughput", to_json(m.throughput));
+    metrics.set("loss_fraction", to_json(m.loss_fraction));
+
+    Json pooled = Json::object();
+    pooled.set("delay_mean", Json::number(m.delay.mean()));
+    pooled.set("delay_max", Json::number(m.delay.max()));
+    pooled.set("number_mean", Json::number(m.number.mean()));
+    pooled.set("number_max", Json::number(m.number.max()));
+    pooled.set("utilization", Json::number(m.busy.busy_fraction()));
+    pooled.set("busy_periods", Json::integer(m.busy.mountains()));
+    pooled.set("busy_len_mean", Json::number(m.busy.busy_lengths().mean()));
+    pooled.set("busy_len_var", Json::number(m.busy.busy_lengths().variance()));
+    pooled.set("idle_len_mean", Json::number(m.busy.idle_lengths().mean()));
+    pooled.set("idle_len_var", Json::number(m.busy.idle_lengths().variance()));
+    pooled.set("height_mean", Json::number(m.busy.heights().mean()));
+    pooled.set("height_var", Json::number(m.busy.heights().variance()));
+    pooled.set("arrivals", Json::integer(m.arrivals));
+    pooled.set("departures", Json::integer(m.departures));
+    pooled.set("losses", Json::integer(m.losses));
+    pooled.set("observed_time", Json::number(m.observed_time));
+    metrics.set("pooled", std::move(pooled));
+    return metrics;
+}
+
+JsonWriter::JsonWriter(std::string bench_id) : bench_id_(std::move(bench_id)) {}
+
+JsonWriter& JsonWriter::meta(const std::string& key, Json value) {
+    for (auto& [k, v] : meta_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    meta_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json JsonWriter::point(const std::string& label) {
+    Json p = Json::object();
+    p.set("label", Json::string(label));
+    return p;
+}
+
+JsonWriter& JsonWriter::add_point(Json point) {
+    points_.push_back(std::move(point));
+    return *this;
+}
+
+std::string JsonWriter::dump() const {
+    Json doc = Json::object();
+    doc.set("schema", Json::string("hap.bench.result/v1"));
+    doc.set("bench", Json::string(bench_id_));
+    for (const auto& [k, v] : meta_) doc.set(k, v);
+    Json points = Json::array();
+    for (const Json& p : points_) points.add(p);
+    doc.set("points", std::move(points));
+    return doc.dump(2) + "\n";
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string text = dump();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace hap::experiment

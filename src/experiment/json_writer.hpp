@@ -1,0 +1,58 @@
+// Machine-readable experiment results, schema "hap.bench.result/v1":
+//
+//   {
+//     "schema": "hap.bench.result/v1",
+//     "bench": "<bench id>",
+//     "scale": 1, "threads": 8, "replications": 8,   // plus caller metadata
+//     "points": [
+//       { "label": "<grid point>",
+//         "params": { ... },                          // caller-defined
+//         "metrics": {
+//           "delay":       {"mean":, "ci95":, "lo":, "hi":, "replications":},
+//           "number":      { ... }, "utilization": { ... }, "throughput": { ... },
+//           "pooled": { "delay_mean":, "delay_max":, "number_mean":,
+//                       "busy_periods":, "busy_len_mean":, "busy_len_var":,
+//                       "idle_len_mean":, "idle_len_var":, "height_mean":,
+//                       "height_var":, "arrivals":, "departures":, "losses": }
+//         },
+//         ... caller extras (analytic reference columns etc.) ... } ]
+//   }
+//
+// Interval metrics come from replication means (Student-t); "pooled" values
+// are the deterministic run_id-ordered merges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/json.hpp"
+#include "experiment/result.hpp"
+
+namespace hap::experiment {
+
+Json to_json(const Estimate& e);
+// The "metrics" object of a point: interval estimates + pooled accumulators.
+Json metrics_json(const MergedResult& m);
+
+class JsonWriter {
+public:
+    explicit JsonWriter(std::string bench_id);
+
+    // Top-level metadata (scale, threads, replications, master_seed, ...).
+    JsonWriter& meta(const std::string& key, Json value);
+
+    // Start a point object (with its "label" set); fill it and add_point().
+    static Json point(const std::string& label);
+    JsonWriter& add_point(Json point);
+
+    std::string dump() const;
+    // Serialize to `path`; returns false (and prints nothing) on I/O error.
+    bool write_file(const std::string& path) const;
+
+private:
+    std::string bench_id_;
+    std::vector<std::pair<std::string, Json>> meta_;
+    std::vector<Json> points_;
+};
+
+}  // namespace hap::experiment

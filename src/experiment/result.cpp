@@ -1,0 +1,94 @@
+#include "experiment/result.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace hap::experiment {
+
+double student_t_975(std::uint64_t dof) {
+    // Two-sided 95% critical values; beyond 30 degrees of freedom the normal
+    // quantile 1.96 is within 2%.
+    static constexpr double kTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+    if (dof == 0) return 0.0;
+    if (dof <= 30) return kTable[dof - 1];
+    return 1.96;
+}
+
+Estimate Estimate::from_replication_means(const stats::OnlineStats& means) {
+    Estimate e;
+    e.replications = means.count();
+    e.mean = means.mean();
+    if (means.count() > 1) {
+        const double se = std::sqrt(means.sample_variance() /
+                                    static_cast<double>(means.count()));
+        e.half_width = student_t_975(means.count() - 1) * se;
+    }
+    return e;
+}
+
+ReplicationResult ReplicationResult::from(std::uint64_t run_id, core::HapSimResult res,
+                                          double warmup) {
+    ReplicationResult r;
+    r.run_id = run_id;
+    r.delay = res.delay;
+    r.number = res.number;
+    r.busy = res.busy;
+    r.arrivals = res.arrivals;
+    r.departures = res.departures;
+    r.losses = res.losses;
+    r.utilization = res.utilization;
+    r.observed_time = res.horizon - warmup;
+    r.delays = std::move(res.delays);
+    return r;
+}
+
+ReplicationResult ReplicationResult::from(std::uint64_t run_id,
+                                          queueing::QueueSimResult res, double warmup) {
+    ReplicationResult r;
+    r.run_id = run_id;
+    r.delay = res.delay;
+    r.number = res.number;
+    r.busy = res.busy;
+    r.arrivals = res.arrivals;
+    r.departures = res.departures;
+    r.losses = res.losses;
+    r.utilization = res.utilization;
+    r.observed_time = res.horizon - warmup;
+    r.delays = std::move(res.delays);
+    return r;
+}
+
+MergedResult MergedResult::merge(const std::vector<ReplicationResult>& runs) {
+    MergedResult m;
+    m.replications = runs.size();
+    stats::OnlineStats delay_means, number_means, util_means, tput_means, loss_means;
+    for (const ReplicationResult& r : runs) {
+        m.delay.merge(r.delay);
+        m.number.merge(r.number);
+        m.busy.merge(r.busy);
+        m.arrivals += r.arrivals;
+        m.departures += r.departures;
+        m.losses += r.losses;
+        m.observed_time += r.observed_time;
+
+        delay_means.add(r.delay.mean());
+        number_means.add(r.number.mean());
+        util_means.add(r.utilization);
+        tput_means.add(r.observed_time > 0.0
+                           ? static_cast<double>(r.departures) / r.observed_time
+                           : 0.0);
+        const double offered = static_cast<double>(r.arrivals + r.losses);
+        loss_means.add(offered > 0.0 ? static_cast<double>(r.losses) / offered : 0.0);
+    }
+    m.delay_mean = Estimate::from_replication_means(delay_means);
+    m.number_mean = Estimate::from_replication_means(number_means);
+    m.utilization = Estimate::from_replication_means(util_means);
+    m.throughput = Estimate::from_replication_means(tput_means);
+    m.loss_fraction = Estimate::from_replication_means(loss_means);
+    return m;
+}
+
+}  // namespace hap::experiment

@@ -1,0 +1,81 @@
+// Replication results and their merge into interval estimates.
+//
+// A ReplicationResult is the uniform summary of one independent run (from
+// either simulator). MergedResult combines them two ways at once:
+//   * pooled accumulators (merged OnlineStats / TimeWeightedStats /
+//     BusyPeriodTracker) give the point estimates — merged in run_id order,
+//     so they are bit-identical for any thread count; and
+//   * the spread of per-replication means gives Student-t 95% confidence
+//     intervals, the standard interval estimator for independent
+//     replications.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hap_sim.hpp"
+#include "queueing/queue_sim.hpp"
+#include "stats/busy_period.hpp"
+#include "stats/online_stats.hpp"
+
+namespace hap::experiment {
+
+// Two-sided 97.5% Student-t quantile (=> 95% CI half-width multiplier).
+double student_t_975(std::uint64_t dof);
+
+// Point estimate with a 95% confidence interval from replication means.
+struct Estimate {
+    double mean = 0.0;
+    double half_width = 0.0;
+    std::uint64_t replications = 0;
+
+    double lo() const noexcept { return mean - half_width; }
+    double hi() const noexcept { return mean + half_width; }
+
+    static Estimate from_replication_means(const stats::OnlineStats& means);
+};
+
+// Summary of one independent replication.
+struct ReplicationResult {
+    std::uint64_t run_id = 0;
+    stats::OnlineStats delay;          // per-message sojourn times
+    stats::TimeWeightedStats number;   // messages in system
+    stats::BusyPeriodTracker busy;
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+    std::uint64_t losses = 0;
+    double utilization = 0.0;
+    double observed_time = 0.0;  // horizon - warmup
+    std::vector<double> delays;  // iff Scenario::record_delays
+
+    static ReplicationResult from(std::uint64_t run_id, core::HapSimResult res,
+                                  double warmup);
+    static ReplicationResult from(std::uint64_t run_id, queueing::QueueSimResult res,
+                                  double warmup);
+};
+
+// Replications merged in run_id order.
+struct MergedResult {
+    std::size_t replications = 0;
+
+    // Pooled over every replication (point estimates, deterministic).
+    stats::OnlineStats delay;
+    stats::TimeWeightedStats number;
+    stats::BusyPeriodTracker busy;
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+    std::uint64_t losses = 0;
+    double observed_time = 0.0;
+
+    // 95% CIs across replication means.
+    Estimate delay_mean;     // mean sojourn time
+    Estimate number_mean;    // time-average number in system
+    Estimate utilization;    // busy fraction
+    Estimate throughput;     // departures per model-second
+    Estimate loss_fraction;  // losses / offered (finite buffers; else 0)
+
+    // `runs` must be ordered by run_id (the runner guarantees it).
+    static MergedResult merge(const std::vector<ReplicationResult>& runs);
+};
+
+}  // namespace hap::experiment

@@ -1,0 +1,118 @@
+#include "experiment/runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace hap::experiment {
+
+std::size_t env_threads() {
+    if (const char* env = std::getenv("HAP_BENCH_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ExperimentRunner::ExperimentRunner(std::size_t threads)
+    : threads_(threads > 0 ? threads : env_threads()) {}
+
+void ExperimentRunner::parallel_for(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) const {
+    if (n == 0) return;
+    const std::size_t workers = std::min(threads_, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    const auto work = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+    work();  // the calling thread is worker 0
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+ReplicationResult ExperimentRunner::simulate_hap(const Scenario& sc,
+                                                 std::uint64_t run_id,
+                                                 sim::RandomStream& rng) {
+    return ReplicationResult::from(
+        run_id, core::simulate_hap_queue(sc.params, rng, sc.sim_options()), sc.warmup);
+}
+
+std::vector<ReplicationResult> ExperimentRunner::replicate(const Scenario& sc) const {
+    return replicate(sc, &ExperimentRunner::simulate_hap);
+}
+
+std::vector<ReplicationResult> ExperimentRunner::replicate(
+    const Scenario& sc, const SimulateFn& simulate) const {
+    sc.validate();
+    std::vector<ReplicationResult> out(sc.replications);
+    parallel_for(sc.replications, [&](std::size_t i) {
+        sim::RandomStream rng = sc.stream(i);
+        out[i] = simulate(sc, i, rng);
+    });
+    return out;
+}
+
+MergedResult ExperimentRunner::run(const Scenario& sc) const {
+    return MergedResult::merge(replicate(sc));
+}
+
+MergedResult ExperimentRunner::run(const Scenario& sc, const SimulateFn& simulate) const {
+    return MergedResult::merge(replicate(sc, simulate));
+}
+
+std::vector<MergedResult> ExperimentRunner::run_all(
+    const std::vector<Scenario>& grid) const {
+    return run_all(grid, &ExperimentRunner::simulate_hap);
+}
+
+std::vector<MergedResult> ExperimentRunner::run_all(const std::vector<Scenario>& grid,
+                                                    const SimulateFn& simulate) const {
+    // Flatten (scenario, replication) into one job list so the pool stays
+    // full even when single scenarios have fewer replications than threads.
+    std::vector<std::size_t> offsets(grid.size() + 1, 0);
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+        grid[s].validate();
+        offsets[s + 1] = offsets[s] + grid[s].replications;
+    }
+    std::vector<std::vector<ReplicationResult>> runs(grid.size());
+    for (std::size_t s = 0; s < grid.size(); ++s) runs[s].resize(grid[s].replications);
+
+    parallel_for(offsets.back(), [&](std::size_t job) {
+        // Scenarios are few; a linear scan beats binary search bookkeeping.
+        std::size_t s = 0;
+        while (job >= offsets[s + 1]) ++s;
+        const std::size_t rep = job - offsets[s];
+        sim::RandomStream rng = grid[s].stream(rep);
+        runs[s][rep] = simulate(grid[s], rep, rng);
+    });
+
+    std::vector<MergedResult> merged;
+    merged.reserve(grid.size());
+    for (const auto& r : runs) merged.push_back(MergedResult::merge(r));
+    return merged;
+}
+
+}  // namespace hap::experiment

@@ -1,0 +1,61 @@
+// Parallel replication engine. Independent replications (or grid cells of a
+// parameter sweep) fan out over a std::thread pool; every replication draws
+// from a counter-based substream (sim::substream_seed), so the numbers — and
+// the merged point estimates, which are combined in run_id order — are
+// bit-identical whether the pool has 1 thread or 64.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "experiment/result.hpp"
+#include "experiment/scenario.hpp"
+
+namespace hap::experiment {
+
+// Worker count: HAP_BENCH_THREADS if set and positive, else the hardware
+// concurrency (at least 1).
+std::size_t env_threads();
+
+class ExperimentRunner {
+public:
+    // threads == 0 picks env_threads().
+    explicit ExperimentRunner(std::size_t threads = 0);
+
+    std::size_t threads() const noexcept { return threads_; }
+
+    // Run fn(i) for every i in [0, n) on the pool; blocks until all jobs
+    // finish. The calling thread participates. If jobs throw, the first
+    // exception is rethrown after the pool drains.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+    // One replication: given the scenario, the run id, and that run's
+    // deterministic stream, produce a summary.
+    using SimulateFn = std::function<ReplicationResult(
+        const Scenario&, std::uint64_t run_id, sim::RandomStream& rng)>;
+
+    // The default simulator: core::simulate_hap_queue on Scenario::params.
+    static ReplicationResult simulate_hap(const Scenario& sc, std::uint64_t run_id,
+                                          sim::RandomStream& rng);
+
+    // All replications of one scenario, in run_id order.
+    std::vector<ReplicationResult> replicate(const Scenario& sc) const;
+    std::vector<ReplicationResult> replicate(const Scenario& sc,
+                                             const SimulateFn& simulate) const;
+
+    MergedResult run(const Scenario& sc) const;
+    MergedResult run(const Scenario& sc, const SimulateFn& simulate) const;
+
+    // Parameter sweep: every (scenario, replication) pair is one pool job, so
+    // small grids with many replications still fill every thread. Results are
+    // in grid order, each merged in run_id order.
+    std::vector<MergedResult> run_all(const std::vector<Scenario>& grid) const;
+    std::vector<MergedResult> run_all(const std::vector<Scenario>& grid,
+                                      const SimulateFn& simulate) const;
+
+private:
+    std::size_t threads_;
+};
+
+}  // namespace hap::experiment

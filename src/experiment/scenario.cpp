@@ -1,0 +1,24 @@
+#include "experiment/scenario.hpp"
+
+#include <stdexcept>
+
+namespace hap::experiment {
+
+core::HapSimOptions Scenario::sim_options() const {
+    core::HapSimOptions o;
+    o.horizon = horizon;
+    o.warmup = warmup;
+    o.buffer_capacity = buffer_capacity;
+    o.record_delays = record_delays;
+    return o;
+}
+
+void Scenario::validate() const {
+    if (name.empty()) throw std::invalid_argument("Scenario: empty name");
+    if (replications == 0) throw std::invalid_argument("Scenario: zero replications");
+    if (!(horizon > warmup))
+        throw std::invalid_argument("Scenario '" + name + "': horizon <= warmup");
+    params.validate();
+}
+
+}  // namespace hap::experiment

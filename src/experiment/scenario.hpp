@@ -1,0 +1,44 @@
+// A Scenario is one cell of an experiment: a HAP parameterization plus the
+// observation window (horizon/warmup), buffer spec, and the replication plan
+// (count + master seed). Its `name` doubles as the substream component, so
+// every scenario owns a deterministic family of replication RNG streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/hap_params.hpp"
+#include "core/hap_sim.hpp"
+#include "sim/rng.hpp"
+
+namespace hap::experiment {
+
+// Default master seed for experiments; benches override via --seed / env.
+inline constexpr std::uint64_t kDefaultMasterSeed = 0x4841502d31393933ULL;  // "HAP-1993"
+
+struct Scenario {
+    std::string name;  // substream component name, e.g. "fig12.load=0.8"
+    core::HapParams params;
+    double horizon = 1e6;  // per-replication model time
+    double warmup = 5e4;
+    std::size_t buffer_capacity = 0;  // 0 = infinite
+    std::size_t replications = 8;
+    std::uint64_t master_seed = kDefaultMasterSeed;
+    bool record_delays = false;  // keep per-message sojourns in each replication
+
+    std::uint64_t component() const noexcept { return sim::component_id(name); }
+
+    // The RNG stream of replication `run_id` — a pure function of
+    // (master_seed, run_id, name), independent of threads and scheduling.
+    sim::RandomStream stream(std::uint64_t run_id) const noexcept {
+        return sim::RandomStream::substream(master_seed, run_id, component());
+    }
+
+    core::HapSimOptions sim_options() const;
+
+    // Throws std::invalid_argument on an empty name, zero replications, or a
+    // horizon that does not extend past the warmup.
+    void validate() const;
+};
+
+}  // namespace hap::experiment

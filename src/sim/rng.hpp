@@ -1,10 +1,16 @@
 // Random-number streams for simulation. Each stochastic component gets its
 // own stream, derived from a master seed with SplitMix64, so results are
 // reproducible and components are statistically independent.
+//
+// Replicated experiments use the counter-based derivation substream_seed():
+// a pure function of (master seed, run id, component id), so replication k
+// of component "fig12.load" draws exactly the same numbers no matter how
+// many threads the experiment pool has or which thread picks the job up.
 #pragma once
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 
 namespace hap::sim {
 
@@ -13,13 +19,43 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
     state += 0x9e3779b97f4a7c15ULL;
     std::uint64_t z = state;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d4a7c15f4a7c15ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+}
+
+// Counter-based substream seed derivation: each input is absorbed through a
+// full SplitMix64 mix, so (run_id, component_id) and (component_id, run_id)
+// land in unrelated streams.
+constexpr std::uint64_t substream_seed(std::uint64_t master, std::uint64_t run_id,
+                                       std::uint64_t component_id) noexcept {
+    std::uint64_t s = master;
+    s = splitmix64(s) ^ run_id;
+    s = splitmix64(s) ^ component_id;
+    return splitmix64(s);
+}
+
+// FNV-1a hash of a component name, usable as the component_id above.
+// Benches and experiments name their streams ("fig12.load=0.8") instead of
+// hand-rolling seed arithmetic.
+constexpr std::uint64_t component_id(std::string_view name) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
 }
 
 class RandomStream {
 public:
     explicit RandomStream(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+    // Deterministic replication stream: identical draws for a given
+    // (master, run_id, component_id) regardless of thread count or order.
+    static RandomStream substream(std::uint64_t master, std::uint64_t run_id,
+                                  std::uint64_t component_id) {
+        return RandomStream(substream_seed(master, run_id, component_id));
+    }
 
     // Derive a reproducible child stream; distinct calls yield distinct seeds.
     RandomStream fork() {
@@ -41,9 +77,9 @@ public:
 
     std::uint64_t next_u64() { return engine_(); }
 
-    // Integer in [0, n).
+    // Integer in [0, n); requires n < 2^53 so the scaled uniform stays exact.
     std::uint64_t below(std::uint64_t n) {
-        return static_cast<std::uint64_t>(uniform() * static_cast<double>(n)) % n;
+        return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
     }
 
     std::mt19937_64& engine() noexcept { return engine_; }

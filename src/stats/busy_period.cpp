@@ -38,6 +38,14 @@ void BusyPeriodTracker::finish(double time) noexcept {
     last_event_time_ = time;
 }
 
+void BusyPeriodTracker::merge(const BusyPeriodTracker& other) noexcept {
+    busy_.merge(other.busy_);
+    idle_.merge(other.idle_);
+    heights_.merge(other.heights_);
+    busy_time_total_ += other.busy_time_total_;
+    observed_total_ += other.observed_total_;
+}
+
 double BusyPeriodTracker::busy_fraction() const noexcept {
     return observed_total_ > 0.0 ? busy_time_total_ / observed_total_ : 0.0;
 }

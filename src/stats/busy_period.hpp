@@ -24,6 +24,14 @@ public:
     // time is kept.
     void finish(double time) noexcept;
 
+    // Combine the closed window of `other` (e.g. an independent replication)
+    // into this one. Time-fraction statistics are always exact; the per-period
+    // statistics equal a single sequential pass when the windows are
+    // independent runs or when a shared sample path was split at a busy→idle
+    // transition (so no period straddles the cut). Both trackers should be
+    // finish()ed first; the merged object is read-only.
+    void merge(const BusyPeriodTracker& other) noexcept;
+
     const OnlineStats& busy_lengths() const noexcept { return busy_; }
     const OnlineStats& idle_lengths() const noexcept { return idle_; }
     const OnlineStats& heights() const noexcept { return heights_; }

@@ -13,6 +13,10 @@ public:
 
     void add(double x) noexcept;
 
+    // Add another histogram's counts; throws std::invalid_argument unless
+    // both share the same [lo, hi) range and bin count.
+    void merge(const Histogram& other);
+
     std::uint64_t count() const noexcept { return total_; }
     std::uint64_t underflow() const noexcept { return underflow_; }
     std::uint64_t overflow() const noexcept { return overflow_; }

@@ -50,6 +50,13 @@ void TimeWeightedStats::update(double time, double new_value) noexcept {
     max_ = std::max(max_, new_value);
 }
 
+void TimeWeightedStats::merge(const TimeWeightedStats& other) noexcept {
+    area_ += other.area_;
+    area2_ += other.area2_;
+    total_time_ += other.total_time_;
+    max_ = std::max(max_, other.max_);
+}
+
 double TimeWeightedStats::variance() const noexcept {
     const double m = mean();
     return std::max(0.0, second_moment() - m * m);

@@ -50,6 +50,12 @@ public:
     // Close the observation window at `time` without changing the value.
     void finish(double time) noexcept { update(time, value_); }
 
+    // Combine the closed observation window of `other` into this one, as if
+    // both windows had been observed in a single pass. Both accumulators
+    // should be finish()ed first; the merged object is for reading
+    // (mean/variance/max/elapsed), not for further update() calls.
+    void merge(const TimeWeightedStats& other) noexcept;
+
     double elapsed() const noexcept { return total_time_; }
     double mean() const noexcept { return total_time_ > 0.0 ? area_ / total_time_ : 0.0; }
     // Time-weighted second moment and variance.

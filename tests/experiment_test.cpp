@@ -1,0 +1,180 @@
+// Tests for the parallel replication experiment engine: deterministic
+// substream replications (thread-count invariance), interval estimates,
+// the pool itself, and the JSON result emitter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hap_params.hpp"
+#include "experiment/experiment.hpp"
+#include "stats/online_stats.hpp"
+
+namespace {
+
+using hap::experiment::Estimate;
+using hap::experiment::ExperimentRunner;
+using hap::experiment::Json;
+using hap::experiment::JsonWriter;
+using hap::experiment::MergedResult;
+using hap::experiment::Scenario;
+
+Scenario small_scenario() {
+    Scenario sc;
+    sc.name = "test.small";
+    sc.params = hap::core::HapParams::paper_baseline(20.0);
+    sc.horizon = 2e4;
+    sc.warmup = 1e3;
+    sc.replications = 8;
+    return sc;
+}
+
+TEST(Runner, MergedMeansBitIdenticalAcrossThreadCounts) {
+    const Scenario sc = small_scenario();
+    const MergedResult seq = ExperimentRunner(1).run(sc);
+    const MergedResult par = ExperimentRunner(8).run(sc);
+
+    // Exact equality on purpose: replication streams are counter-based and
+    // the merge happens in run_id order, so scheduling must not matter.
+    EXPECT_EQ(seq.delay.mean(), par.delay.mean());
+    EXPECT_EQ(seq.delay.variance(), par.delay.variance());
+    EXPECT_EQ(seq.number.mean(), par.number.mean());
+    EXPECT_EQ(seq.busy.busy_fraction(), par.busy.busy_fraction());
+    EXPECT_EQ(seq.busy.busy_lengths().mean(), par.busy.busy_lengths().mean());
+    EXPECT_EQ(seq.arrivals, par.arrivals);
+    EXPECT_EQ(seq.departures, par.departures);
+    EXPECT_EQ(seq.delay_mean.mean, par.delay_mean.mean);
+    EXPECT_EQ(seq.delay_mean.half_width, par.delay_mean.half_width);
+}
+
+TEST(Runner, RunAllMatchesIndividualRuns) {
+    Scenario a = small_scenario();
+    Scenario b = small_scenario();
+    b.name = "test.small.b";
+    b.replications = 3;
+    const ExperimentRunner runner(4);
+    const auto both = runner.run_all({a, b});
+    ASSERT_EQ(both.size(), 2u);
+    EXPECT_EQ(both[0].delay.mean(), runner.run(a).delay.mean());
+    EXPECT_EQ(both[1].delay.mean(), runner.run(b).delay.mean());
+    EXPECT_EQ(both[1].replications, 3u);
+}
+
+TEST(Runner, DistinctScenarioNamesDrawDistinctStreams) {
+    Scenario a = small_scenario();
+    Scenario b = small_scenario();
+    b.name = "test.small.other";
+    EXPECT_NE(ExperimentRunner(2).run(a).delay.mean(),
+              ExperimentRunner(2).run(b).delay.mean());
+}
+
+TEST(Runner, ParallelForCoversEveryIndexOnce) {
+    const ExperimentRunner runner(8);
+    std::vector<std::atomic<int>> hits(1000);
+    for (auto& h : hits) h = 0;
+    runner.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, ParallelForPropagatesException) {
+    const ExperimentRunner runner(4);
+    EXPECT_THROW(runner.parallel_for(64,
+                                     [](std::size_t i) {
+                                         if (i == 17) throw std::runtime_error("boom");
+                                     }),
+                 std::runtime_error);
+}
+
+TEST(Scenario, ValidateRejectsBadSpecs) {
+    Scenario sc = small_scenario();
+    sc.name = "";
+    EXPECT_THROW(sc.validate(), std::invalid_argument);
+    sc = small_scenario();
+    sc.replications = 0;
+    EXPECT_THROW(sc.validate(), std::invalid_argument);
+    sc = small_scenario();
+    sc.horizon = sc.warmup;
+    EXPECT_THROW(sc.validate(), std::invalid_argument);
+}
+
+TEST(Estimate, StudentTIntervalFromReplicationMeans) {
+    hap::stats::OnlineStats means;
+    for (double v : {1.0, 2.0, 3.0, 4.0}) means.add(v);
+    const Estimate e = Estimate::from_replication_means(means);
+    EXPECT_DOUBLE_EQ(e.mean, 2.5);
+    EXPECT_EQ(e.replications, 4u);
+    // sample sd = sqrt(5/3), se = sd/2, t_{0.975,3} = 3.182.
+    EXPECT_NEAR(e.half_width, 3.182 * std::sqrt(5.0 / 3.0) / 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(e.lo(), e.mean - e.half_width);
+}
+
+TEST(Estimate, SingleReplicationHasZeroWidth) {
+    hap::stats::OnlineStats means;
+    means.add(7.0);
+    const Estimate e = Estimate::from_replication_means(means);
+    EXPECT_DOUBLE_EQ(e.mean, 7.0);
+    EXPECT_DOUBLE_EQ(e.half_width, 0.0);
+}
+
+TEST(Estimate, TTableEndpoints) {
+    EXPECT_DOUBLE_EQ(hap::experiment::student_t_975(1), 12.706);
+    EXPECT_DOUBLE_EQ(hap::experiment::student_t_975(30), 2.042);
+    EXPECT_DOUBLE_EQ(hap::experiment::student_t_975(100), 1.96);
+}
+
+TEST(Json, EscapesAndNestsStably) {
+    Json doc = Json::object();
+    doc.set("name", Json::string("a\"b\\c\nd"));
+    doc.set("count", Json::integer(std::int64_t{42}));
+    doc.set("nan", Json::number(std::nan("")));
+    Json arr = Json::array();
+    arr.add(Json::number(0.5));
+    arr.add(Json::boolean(true));
+    doc.set("items", std::move(arr));
+    const std::string flat = doc.dump(0);
+    EXPECT_EQ(flat, "{\"name\":\"a\\\"b\\\\c\\nd\",\"count\":42,\"nan\":null,"
+                    "\"items\":[0.5,true]}");
+}
+
+TEST(Json, NumbersRoundTripShortest)
+{
+    EXPECT_EQ(Json::number(0.1).dump(0), "0.1");
+    EXPECT_EQ(Json::number(8.25).dump(0), "8.25");
+    EXPECT_EQ(Json::integer(std::uint64_t{0}).dump(0), "0");
+}
+
+TEST(JsonWriter, EmitsSchemaHeaderAndPoints) {
+    JsonWriter w("unit_test_bench");
+    w.meta("scale", Json::number(2.0));
+    Json p = JsonWriter::point("point-a");
+    p.set("value", Json::number(1.5));
+    w.add_point(std::move(p));
+    const std::string text = w.dump();
+    EXPECT_NE(text.find("\"schema\": \"hap.bench.result/v1\""), std::string::npos);
+    EXPECT_NE(text.find("\"bench\": \"unit_test_bench\""), std::string::npos);
+    EXPECT_NE(text.find("\"label\": \"point-a\""), std::string::npos);
+}
+
+TEST(MergedResult, PooledCountsAreSums) {
+    const Scenario sc = small_scenario();
+    const ExperimentRunner runner(2);
+    const auto runs = runner.replicate(sc);
+    const MergedResult m = MergedResult::merge(runs);
+    std::uint64_t arrivals = 0;
+    for (const auto& r : runs) arrivals += r.arrivals;
+    EXPECT_EQ(m.arrivals, arrivals);
+    EXPECT_EQ(m.replications, sc.replications);
+    EXPECT_GT(m.delay_mean.half_width, 0.0);
+    // Pooled delay mean is the departure-weighted mean of replication means.
+    double weighted = 0.0;
+    std::uint64_t n = 0;
+    for (const auto& r : runs) {
+        weighted += r.delay.mean() * static_cast<double>(r.delay.count());
+        n += r.delay.count();
+    }
+    EXPECT_NEAR(m.delay.mean(), weighted / static_cast<double>(n), 1e-9);
+}
+
+}  // namespace

@@ -64,6 +64,115 @@ TEST(TimeWeighted, VarianceNonNegative) {
     EXPECT_DOUBLE_EQ(tw.mean(), 5.0);
 }
 
+TEST(TimeWeighted, MergeEqualsSequentialPassOnSplitStream) {
+    // One piecewise-constant signal observed in a single pass vs. split at
+    // t = 5 into two windows and merged.
+    hap::sim::RandomStream rng(21);
+    std::vector<std::pair<double, double>> events;  // (time, new value)
+    double t = 0.0;
+    double v = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        t += rng.exponential(10.0);
+        v = std::floor(rng.uniform() * 5.0);
+        events.emplace_back(t, v);
+    }
+    const double split = 5.0, end = t + 0.5;
+
+    TimeWeightedStats whole(0.0, 0.0), first(0.0, 0.0);
+    TimeWeightedStats second;
+    double value_at_split = 0.0;
+    bool second_started = false;
+    for (const auto& [time, value] : events) {
+        whole.update(time, value);
+        if (time < split) {
+            first.update(time, value);
+            value_at_split = value;
+        } else {
+            if (!second_started) {
+                first.finish(split);
+                second = TimeWeightedStats(split, value_at_split);
+                second_started = true;
+            }
+            second.update(time, value);
+        }
+    }
+    whole.finish(end);
+    second.finish(end);
+
+    first.merge(second);
+    EXPECT_NEAR(first.elapsed(), whole.elapsed(), 1e-9);
+    EXPECT_NEAR(first.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(first.variance(), whole.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(first.max(), whole.max());
+}
+
+TEST(BusyPeriod, MergeEqualsSequentialPassWhenSplitAtBusyEnd) {
+    // A random walk through busy/idle periods, split at a busy→idle
+    // transition (no period straddles the cut): the merged trackers must
+    // reproduce the single-pass decomposition.
+    hap::sim::RandomStream rng(22);
+    std::vector<std::pair<double, std::uint64_t>> events;
+    double t = 0.0;
+    std::uint64_t n = 0;
+    for (int i = 0; i < 400; ++i) {
+        t += rng.exponential(5.0);
+        if (n == 0 || rng.bernoulli(0.45))
+            ++n;
+        else
+            --n;
+        events.emplace_back(t, n);
+    }
+    // Split after the 10th return to empty.
+    double split = -1.0;
+    int zeros = 0;
+    for (const auto& [time, value] : events)
+        if (value == 0 && ++zeros == 10) {
+            split = time;
+            break;
+        }
+    ASSERT_GT(split, 0.0);
+    const double end = t + 1.0;
+
+    BusyPeriodTracker whole(0.0), first(0.0), second(split);
+    for (const auto& [time, value] : events) {
+        whole.observe(time, value);
+        (time <= split ? first : second).observe(time, value);
+    }
+    whole.finish(end);
+    first.finish(split);
+    second.finish(end);
+
+    first.merge(second);
+    EXPECT_EQ(first.mountains(), whole.mountains());
+    EXPECT_NEAR(first.busy_lengths().mean(), whole.busy_lengths().mean(), 1e-12);
+    EXPECT_NEAR(first.busy_lengths().variance(), whole.busy_lengths().variance(), 1e-12);
+    EXPECT_NEAR(first.idle_lengths().mean(), whole.idle_lengths().mean(), 1e-12);
+    EXPECT_NEAR(first.heights().mean(), whole.heights().mean(), 1e-12);
+    EXPECT_NEAR(first.heights().variance(), whole.heights().variance(), 1e-12);
+    EXPECT_NEAR(first.busy_fraction(), whole.busy_fraction(), 1e-12);
+}
+
+TEST(Histogram, MergeAddsCountsAndTails) {
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    a.add(1.5);
+    a.add(-2.0);
+    b.add(1.7);
+    b.add(42.0);
+    b.add(9.9);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.bin_count(1), 2u);
+    EXPECT_EQ(a.bin_count(9), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, MergeRejectsBinningMismatch) {
+    Histogram a(0.0, 10.0, 10);
+    EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 20)), std::invalid_argument);
+    EXPECT_THROW(a.merge(Histogram(0.0, 5.0, 10)), std::invalid_argument);
+}
+
 TEST(Histogram, CountsAndDensity) {
     Histogram h(0.0, 10.0, 10);
     for (int i = 0; i < 100; ++i) h.add(0.05 + i * 0.1);  // uniform over [0,10)

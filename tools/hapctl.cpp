@@ -13,6 +13,11 @@
 //       measure a recorded arrival trace and fit on-off / 2-level HAP.
 //   hapctl admission [model flags] --budget T [--service R]
 //       required bandwidth, admissible workload, decision table.
+//   hapctl sweep    [model flags] [--service-grid SPEC] [--lambda-grid SPEC]
+//                   [--reps N] [--horizon T] [--warmup T] [--seed S]
+//                   [--threads N] [--buffer K] [--json FILE]
+//       replicated simulation over a parameter grid, fanned across the
+//       experiment thread pool; SPEC is "a,b,c" or "lo:hi:step".
 //
 // Model flags (defaults = the paper's Section-4 baseline):
 //   --lambda --mu --lambda1 --mu1 --l --lambda2 --m --service
@@ -23,6 +28,7 @@
 
 #include "cli_util.hpp"
 #include "core/hap.hpp"
+#include "experiment/experiment.hpp"
 #include "queueing/mm1.hpp"
 #include "trace/arrival_log.hpp"
 #include "traffic/fitting.hpp"
@@ -166,6 +172,120 @@ int cmd_fit(const cli::Flags& f) {
     return 0;
 }
 
+// Grid axis: "a,b,c" (comma list) or "lo:hi:step" (inclusive, step > 0).
+std::vector<double> parse_grid(const std::string& spec) {
+    std::vector<double> out;
+    if (spec.empty()) return out;
+    if (spec.find(':') != std::string::npos) {
+        double lo = 0.0, hi = 0.0, step = 0.0;
+        if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &lo, &hi, &step) != 3 ||
+            step <= 0.0 || hi < lo)
+            throw std::invalid_argument("bad grid spec '" + spec +
+                                        "' (want lo:hi:step with step > 0)");
+        for (double v = lo; v <= hi + 1e-9 * step; v += step) out.push_back(v);
+        return out;
+    }
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok =
+            spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            throw std::invalid_argument("bad grid value '" + tok + "'");
+        out.push_back(v);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+int cmd_sweep(const cli::Flags& f) {
+    f.reject_unknown(with(kModelFlags,
+                          {"service-grid", "lambda-grid", "reps", "horizon", "warmup",
+                           "seed", "threads", "buffer", "json"}));
+    std::vector<double> services = parse_grid(f.text("service-grid", ""));
+    if (services.empty()) services.push_back(f.number("service", 20.0));
+    // Workload axis: multipliers on the user arrival rate (the paper's Fig. 12
+    // load knob).
+    std::vector<double> lambda_scales = parse_grid(f.text("lambda-grid", ""));
+    if (lambda_scales.empty()) lambda_scales.push_back(1.0);
+
+    const double horizon = f.number("horizon", 1e6);
+    const double warmup = f.number("warmup", horizon * 0.02);
+    const std::size_t reps = f.count("reps", 8);
+
+    std::vector<experiment::Scenario> grid;
+    for (double service : services) {
+        for (double scale : lambda_scales) {
+            experiment::Scenario sc;
+            char name[64];
+            std::snprintf(name, sizeof(name), "sweep.service=%g.lambda=%g", service,
+                          scale);
+            sc.name = name;
+            sc.params = core::HapParams::homogeneous(
+                f.number("lambda", 0.0055) * scale, f.number("mu", 0.001),
+                f.number("lambda1", 0.01), f.number("mu1", 0.01), f.count("l", 5),
+                f.number("lambda2", 0.1), f.count("m", 3), service);
+            sc.params.max_users = f.count("max-users", 0);
+            sc.params.max_apps = f.count("max-apps", 0);
+            sc.horizon = horizon;
+            sc.warmup = warmup;
+            sc.buffer_capacity = f.count("buffer", 0);
+            sc.replications = reps;
+            if (f.has("seed"))
+                sc.master_seed = static_cast<std::uint64_t>(f.number("seed", 1.0));
+            grid.push_back(std::move(sc));
+        }
+    }
+
+    const experiment::ExperimentRunner runner(f.count("threads", 0));
+    std::printf("sweep: %zu grid points x %zu replications on %zu threads\n\n",
+                grid.size(), reps, runner.threads());
+    const std::vector<experiment::MergedResult> results = runner.run_all(grid);
+
+    experiment::JsonWriter json("hapctl_sweep");
+    json.meta("threads", experiment::Json::integer(
+                             static_cast<std::uint64_t>(runner.threads())));
+    json.meta("replications",
+              experiment::Json::integer(static_cast<std::uint64_t>(reps)));
+    std::printf("%10s %10s %12s %8s %22s %22s %8s\n", "service", "lam-scale",
+                "lambda-bar", "rho", "delay T (95% CI)", "queue N (95% CI)", "util");
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const double service = services[i / lambda_scales.size()];
+        const double scale = lambda_scales[i % lambda_scales.size()];
+        const auto& m = results[i];
+        const double lbar = grid[i].params.mean_message_rate();
+        char delay_ci[48], number_ci[48];
+        std::snprintf(delay_ci, sizeof(delay_ci), "%.4f+-%.4f", m.delay_mean.mean,
+                      m.delay_mean.half_width);
+        std::snprintf(number_ci, sizeof(number_ci), "%.3f+-%.3f", m.number_mean.mean,
+                      m.number_mean.half_width);
+        std::printf("%10.3f %10.3f %12.4f %8.3f %22s %22s %8.3f\n", service, scale,
+                    lbar, lbar / service, delay_ci, number_ci, m.utilization.mean);
+
+        experiment::Json point = experiment::JsonWriter::point(grid[i].name);
+        experiment::Json params = experiment::Json::object();
+        params.set("service", experiment::Json::number(service));
+        params.set("lambda_scale", experiment::Json::number(scale));
+        params.set("lambda_bar", experiment::Json::number(lbar));
+        params.set("rho", experiment::Json::number(lbar / service));
+        point.set("params", std::move(params));
+        point.set("metrics", experiment::metrics_json(m));
+        json.add_point(std::move(point));
+    }
+
+    const std::string out = f.text("json", "");
+    if (!out.empty()) {
+        if (json.write_file(out))
+            std::printf("\njson results written to %s\n", out.c_str());
+        else
+            throw std::runtime_error("cannot write " + out);
+    }
+    return 0;
+}
+
 int cmd_admission(const cli::Flags& f) {
     f.reject_unknown(with(kModelFlags, {"budget", "users"}));
     const core::HapParams p = model_from_flags(f);
@@ -197,7 +317,10 @@ void usage() {
         "  hapctl solve0    [model flags] [--zmax N] exact truncated solve\n"
         "  hapctl simulate  [model flags] [--horizon T --seed S --buffer K]\n"
         "  hapctl fit       --trace FILE [--duty D --burst R]\n"
-        "  hapctl admission [model flags] --budget T\n\n"
+        "  hapctl admission [model flags] --budget T\n"
+        "  hapctl sweep     [model flags] [--service-grid SPEC --lambda-grid SPEC]\n"
+        "                   [--reps N --threads N --horizon T --json FILE]\n"
+        "                   (SPEC: \"a,b,c\" or \"lo:hi:step\")\n\n"
         "model flags (defaults = paper baseline):\n"
         "  --lambda 0.0055 --mu 0.001 --lambda1 0.01 --mu1 0.01 --l 5\n"
         "  --lambda2 0.1 --m 3 --service 20 [--max-users N --max-apps N]\n");
@@ -218,6 +341,7 @@ int main(int argc, char** argv) {
         if (cmd == "simulate") return cmd_simulate(flags);
         if (cmd == "fit") return cmd_fit(flags);
         if (cmd == "admission") return cmd_admission(flags);
+        if (cmd == "sweep") return cmd_sweep(flags);
         usage();
         return 2;
     } catch (const std::exception& e) {
