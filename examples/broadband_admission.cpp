@@ -49,11 +49,12 @@ int main() {
                 "delay (s)");
     const auto rows = admission_decision_table(p, 20.0, 0.1, 12, 5);
     for (const auto& r : rows) {
-        if (r.feasible)
+        if (r.feasible) {
             std::printf("%12zu %12zu %14.3f %12.4f\n", r.max_users, r.max_apps,
                         r.mean_rate, r.mean_delay);
-        else
+        } else {
             std::printf("%12zu %12s %14s %12s\n", r.max_users, "-", "-", "infeasible");
+        }
     }
     std::printf("   (Store this table at the network interface: a VC/VP setup\n"
                 "   request is admitted by a single lookup, as the paper\n"

@@ -57,9 +57,10 @@ int main() {
     // two columns line up.
     constexpr int kSources = 30;
     std::vector<hap::traffic::ArrivalProcessPtr> sources;
-    for (int i = 0; i < kSources; ++i)
+    for (int i = 0; i < kSources; ++i) {
         sources.push_back(std::make_unique<hap::traffic::OnOffSource>(
             call_arr / kSources, call_dep, burst));
+    }
     hap::traffic::SuperpositionSource onoff_mux(std::move(sources));
 
     const StreamStats a = measure(hap_src, mu, 1001);

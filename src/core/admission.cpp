@@ -61,9 +61,10 @@ double required_bandwidth(const HapParams& params, double delay_budget) {
 
 double admissible_workload(const HapParams& params, double service_rate,
                            double delay_budget) {
-    if (delay_budget <= 1.0 / service_rate)
+    if (delay_budget <= 1.0 / service_rate) {
         throw std::invalid_argument(
             "admissible_workload: budget below the bare service time");
+    }
     // lambda-bar scales linearly with the user arrival rate (pinned-user
     // HAPs scale the application arrival rate instead); bisect the scale.
     const auto scaled = [&](double scale) {

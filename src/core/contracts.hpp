@@ -1,0 +1,105 @@
+// Runtime contract checks for the solver/simulation stack.
+//
+// Three macro classes guard the numerical boundaries where bad values would
+// otherwise propagate silently into published tables:
+//
+//   HAP_PRECOND(cond)       argument/state precondition (monotone timestamps,
+//                           closed observation windows, compatible binnings).
+//   HAP_CHECK_FINITE(x)     x must be a finite double (rejects NaN and +-Inf).
+//   HAP_CHECK_PROB(p)       p must lie in [0, 1] up to a small roundoff slack,
+//                           so solver output that is "negative probability by
+//                           1e-3" fails loudly instead of averaging away.
+//
+// Cost model:
+//   * default (Release or Debug): one predictable branch per check; the
+//     failure path is a cold, non-inlined throw of hap::core::ContractViolation.
+//     Debug builds (NDEBUG undefined) format a rich message with the value;
+//     release builds keep the failure path allocation-light.
+//   * -DHAP_NO_CONTRACTS: every macro compiles to ((void)0) — zero cost, for
+//     profiling runs that want the guards out of the instruction stream.
+//
+// The macros throw, so functions that use them must not be noexcept.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace hap::core {
+
+// Thrown (never returned) when a contract macro fails.
+class ContractViolation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace contracts_detail {
+
+// Solver output legitimately undershoots 0 / overshoots 1 by accumulated
+// roundoff (linear solves, long Welford merges); anything beyond this slack
+// is a real defect, not noise.
+inline constexpr double kProbSlack = 1e-9;
+
+[[noreturn]] inline void fail(const char* kind, const char* expr, const char* file,
+                              int line) {
+    std::string msg(kind);
+    msg += " violated: ";
+    msg += expr;
+    msg += " at ";
+    msg += file;
+    msg += ':';
+    msg += std::to_string(line);
+    throw ContractViolation(msg);
+}
+
+[[noreturn]] inline void fail_value(const char* kind, const char* expr, double value,
+                                    const char* file, int line) {
+#if defined(NDEBUG)
+    (void)value;  // release failure path stays allocation-light: no formatting
+    fail(kind, expr, file, line);
+#else
+    std::string msg(kind);
+    msg += " violated: ";
+    msg += expr;
+    msg += " = ";
+    msg += std::to_string(value);
+    msg += " at ";
+    msg += file;
+    msg += ':';
+    msg += std::to_string(line);
+    throw ContractViolation(msg);
+#endif
+}
+
+inline void check_finite(double value, const char* expr, const char* file, int line) {
+    if (!std::isfinite(value)) fail_value("finiteness", expr, value, file, line);
+}
+
+inline void check_prob(double value, const char* expr, const char* file, int line) {
+    if (!(value >= -kProbSlack && value <= 1.0 + kProbSlack))
+        fail_value("probability bound", expr, value, file, line);
+}
+
+}  // namespace contracts_detail
+}  // namespace hap::core
+
+#if defined(HAP_NO_CONTRACTS)
+
+// Unevaluated sizeof keeps the argument syntax- and type-checked (and its
+// variables "used") while generating no code at all.
+#define HAP_PRECOND(cond) ((void)sizeof((cond) ? 1 : 0))
+#define HAP_CHECK_FINITE(x) ((void)sizeof((x) + 0.0))
+#define HAP_CHECK_PROB(p) ((void)sizeof((p) + 0.0))
+
+#else
+
+#define HAP_PRECOND(cond)                                                    \
+    ((cond) ? (void)0                                                        \
+            : ::hap::core::contracts_detail::fail("precondition", #cond,     \
+                                                  __FILE__, __LINE__))
+#define HAP_CHECK_FINITE(x) \
+    ::hap::core::contracts_detail::check_finite((x), #x, __FILE__, __LINE__)
+#define HAP_CHECK_PROB(p) \
+    ::hap::core::contracts_detail::check_prob((p), #p, __FILE__, __LINE__)
+
+#endif  // HAP_NO_CONTRACTS

@@ -73,10 +73,11 @@ LumpedChain::LumpedChain(const HapParams& params, const ChainBounds& bounds)
       x_hi_(lumped_shape(params, bounds).x_hi),
       y_hi_(lumped_shape(params, bounds).y_hi),
       ctmc_((x_hi_ - x_lo_ + 1) * (y_hi_ + 1)) {
-    if (!params.homogeneous_types())
+    if (!params.homogeneous_types()) {
         throw std::invalid_argument(
             "LumpedChain: requires homogeneous application types (paper Fig. 7); "
             "use GeneralChain otherwise");
+    }
 
     const double lambda = params.user_arrival_rate;
     const double mu = params.user_departure_rate;
@@ -155,11 +156,12 @@ GeneralChain::GeneralChain(const HapParams& params, const ChainBounds& bounds)
       }()) {
     if (x_hi_ == 0 && params.permanent_users == 0)
         throw std::invalid_argument("GeneralChain: max_users bound is 0");
-    if (params.max_apps > 0)
+    if (params.max_apps > 0) {
         throw std::invalid_argument(
             "GeneralChain: a TOTAL application bound (max_apps) is only "
             "representable on the lumped homogeneous chain; heterogeneous "
             "lattices support per-type caps only");
+    }
     build(params);
 }
 
@@ -191,11 +193,13 @@ void GeneralChain::build(const HapParams& params) {
         }
         for (std::size_t i = 0; i < l; ++i) {
             const std::size_t yi = coords[i + 1];
-            if (yi < y_hi_[i])
+            if (yi < y_hi_[i]) {
                 ctmc_.add_transition(s, s + radix_[i + 1], x * params.apps[i].arrival_rate);
-            if (yi > 0)
+            }
+            if (yi > 0) {
                 ctmc_.add_transition(s, s - radix_[i + 1],
                                      static_cast<double>(yi) * params.apps[i].departure_rate);
+            }
         }
 
         // Advance mixed-radix coordinates (x slowest).

@@ -70,10 +70,11 @@ HapCsResult simulate_hap_cs(const HapCsParams& params, sim::RandomStream& rng,
                               ? hp.permanent_users
                               : static_cast<std::uint64_t>(hp.mean_users() + 0.5);
     std::vector<std::uint64_t> apps(l, 0);
-    for (std::size_t i = 0; i < l; ++i)
+    for (std::size_t i = 0; i < l; ++i) {
         apps[i] = static_cast<std::uint64_t>(
             static_cast<double>(users) * hp.apps[i].arrival_rate /
                 hp.apps[i].departure_rate + 0.5);
+    }
 
     double fwd_busy_time = 0.0;
     double rev_busy_time = 0.0;

@@ -118,11 +118,13 @@ bool HapParams::uniform_service() const noexcept {
 void HapParams::validate() const {
     const bool dynamic_users = user_arrival_rate > 0.0 || user_departure_rate > 0.0;
     if (dynamic_users) {
-        if (user_arrival_rate <= 0.0 || user_departure_rate <= 0.0)
+        if (user_arrival_rate <= 0.0 || user_departure_rate <= 0.0) {
             throw std::invalid_argument("HapParams: user rates must both be positive");
-        if (permanent_users > 0)
+        }
+        if (permanent_users > 0) {
             throw std::invalid_argument(
                 "HapParams: permanent users cannot be mixed with a dynamic user level");
+        }
     } else if (permanent_users == 0) {
         throw std::invalid_argument(
             "HapParams: need a dynamic user level or permanent users");

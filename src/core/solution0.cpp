@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "core/hap_chain.hpp"
 
 namespace hap::core {
@@ -178,10 +180,15 @@ void project_marginal(const Grid& g, const std::vector<double>& marginal,
 
 Solution0Result solve_solution0(const HapParams& params, const Solution0Options& opts) {
     params.validate();
-    if (!params.homogeneous_types())
+    HAP_PRECOND(opts.tol > 0.0);
+    HAP_PRECOND(opts.max_sweeps > 0);
+    HAP_PRECOND(opts.check_every > 0);
+    if (!params.homogeneous_types()) {
         throw std::invalid_argument("solve_solution0: homogeneous application types required");
-    if (!params.uniform_service())
+    }
+    if (!params.uniform_service()) {
         throw std::invalid_argument("solve_solution0: uniform message service rate required");
+    }
 
     const ApplicationType& app = params.apps.front();
     Rates r{};
@@ -235,8 +242,9 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
     markov::SolveOptions mod_opts;
     mod_opts.tol = 1e-13;
     const markov::SolveResult mod = mod_chain.solve(mod_opts);
-    if (!mod.converged)
+    if (!mod.converged) {
         throw std::runtime_error("solve_solution0: modulating-chain solve failed");
+    }
     const std::vector<double>& marginal = mod.pi;
 
     // Initial guess: the exact modulating marginal times a geometric queue
@@ -268,11 +276,16 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
             const Observables o = measure(g, r, pi);
             const double delay = o.throughput > 0.0 ? o.mean_z / o.throughput : 0.0;
             res.sweeps = s;
-            if (opts.verbose)
-                std::fprintf(stderr,
-                             "solution0: sweep %zu delay %.8f mean_z %.6f "
-                             "util %.6f boundary %.2e\n",
-                             s, delay, o.mean_z, o.busy, o.boundary);
+            if (opts.verbose) {
+                // Formatted into a buffer so library code never calls the
+                // printf output family (haplint: no-printf-in-library).
+                char line[160];
+                std::snprintf(line, sizeof(line),
+                              "solution0: sweep %zu delay %.8f mean_z %.6f "
+                              "util %.6f boundary %.2e\n",
+                              s, delay, o.mean_z, o.busy, o.boundary);
+                std::cerr << line;
+            }
             if (prev_delay >= 0.0) {
                 const double dd = std::abs(delay - prev_delay) / std::max(delay, 1e-12);
                 const double dz = std::abs(o.mean_z - prev_z) / std::max(o.mean_z, 1e-12);
@@ -286,6 +299,12 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
                     res.mean_users = o.mean_x;
                     res.mean_apps = o.mean_y;
                     res.truncation_mass = o.boundary;
+                    // Converged output feeds published tables directly.
+                    HAP_CHECK_FINITE(res.mean_delay);
+                    HAP_PRECOND(res.mean_delay >= 0.0);
+                    HAP_CHECK_PROB(res.utilization);
+                    HAP_CHECK_PROB(res.sigma);
+                    HAP_CHECK_PROB(res.truncation_mass);
                     return res;
                 }
             }

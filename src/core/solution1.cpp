@@ -3,6 +3,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::core {
 
 Solution1::Solution1(HapParams params)
@@ -65,8 +67,12 @@ void Solution1::analyze(const std::vector<double>& pi, const std::vector<double>
         mean_apps_ += pi[s] * apps[s];
         if (rates[s] > 0.0) mass_by_rate[rates[s]] += pi[s] * rates[s];
     }
-    if (lambda_bar_ <= 0.0)
+    if (lambda_bar_ <= 0.0) {
         throw std::runtime_error("Solution1: degenerate chain (zero arrival rate)");
+    }
+    HAP_CHECK_FINITE(lambda_bar_);
+    HAP_CHECK_FINITE(mean_users_);
+    HAP_CHECK_FINITE(mean_apps_);
 
     mixture_.weights.clear();
     mixture_.rates.clear();
@@ -75,6 +81,9 @@ void Solution1::analyze(const std::vector<double>& pi, const std::vector<double>
     for (const auto& [rate, mass] : mass_by_rate) {
         mixture_.rates.push_back(rate);
         mixture_.weights.push_back(mass / lambda_bar_);
+        // Each mixture weight is the probability an arrival comes from a
+        // state with this rate; together they must form a distribution.
+        HAP_CHECK_PROB(mixture_.weights.back());
     }
 }
 

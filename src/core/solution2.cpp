@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "numerics/quadrature.hpp"
 
 namespace hap::core {
@@ -12,6 +13,8 @@ namespace {
 
 // Truncated-Poisson pmf over 0..cap (inclusive), normalized.
 std::vector<double> truncated_poisson(double mean, std::size_t cap) {
+    HAP_PRECOND(mean >= 0.0);
+    HAP_CHECK_FINITE(mean);
     std::vector<double> p(cap + 1);
     p[0] = std::exp(-mean);
     for (std::size_t k = 1; k <= cap; ++k)
@@ -76,8 +79,9 @@ double Solution2::mean_rate() const {
 }
 
 double Solution2::interarrival_density(double t) const {
-    if (params_.bounded())
+    if (params_.bounded()) {
         throw std::logic_error("Solution2: closed form requires an unbounded HAP");
+    }
     const double u = std::exp(fn_s(t));
     const double v = fn_v(t);
     const double w = fn_w(t);
@@ -88,8 +92,9 @@ double Solution2::interarrival_density(double t) const {
 }
 
 double Solution2::interarrival_cdf(double t) const {
-    if (params_.bounded())
+    if (params_.bounded()) {
         throw std::logic_error("Solution2: closed form requires an unbounded HAP");
+    }
     const double u = std::exp(fn_s(t));
     const double l = pinned_users_ ? std::exp(a_ * fn_s(t)) : std::exp(a_ * (u - 1.0));
     const double m = pinned_users_ ? a_ * fn_v(t) : a_ * u * fn_v(t);
@@ -110,10 +115,11 @@ const numerics::ExponentialMixture& Solution2::mixture() const {
 }
 
 void Solution2::build_mixture() const {
-    if (!params_.homogeneous_types())
+    if (!params_.homogeneous_types()) {
         throw std::logic_error(
             "Solution2: the finite-mixture path requires homogeneous application "
             "types (use the closed-form/quadrature path instead)");
+    }
 
     const std::size_t l = params_.num_app_types();
     const ApplicationType& app = params_.apps.front();
@@ -156,6 +162,8 @@ void Solution2::build_mixture() const {
     for (std::size_t y = 1; y <= ymax; ++y)
         lambda_bar += qy[y] * per_instance_rate * static_cast<double>(y);
 
+    HAP_CHECK_FINITE(lambda_bar);
+    HAP_PRECOND(lambda_bar > 0.0);
     numerics::ExponentialMixture mix;
     mix.weights.reserve(ymax);
     mix.rates.reserve(ymax);
@@ -163,6 +171,7 @@ void Solution2::build_mixture() const {
         const double r = per_instance_rate * static_cast<double>(y);
         mix.weights.push_back(qy[y] * r / lambda_bar);
         mix.rates.push_back(r);
+        HAP_CHECK_PROB(mix.weights.back());
     }
     lambda_bar_bounded_ = lambda_bar;
     mixture_ = std::move(mix);
@@ -170,9 +179,10 @@ void Solution2::build_mixture() const {
 
 double Solution2::laplace(double s) const {
     if (params_.homogeneous_types()) return mixture().transform(s);
-    if (params_.bounded())
+    if (params_.bounded()) {
         throw std::logic_error(
             "Solution2: bounded HAPs require homogeneous application types");
+    }
     return numerics::integrate_to_infinity(
         [&](double t) { return interarrival_density(t) * std::exp(-s * t); });
 }
@@ -183,10 +193,11 @@ queueing::Gm1Result Solution2::solve_queue(double service_rate) const {
 }
 
 queueing::Gm1Result Solution2::solve_queue() const {
-    if (!params_.uniform_service())
+    if (!params_.uniform_service()) {
         throw std::logic_error(
             "Solution2::solve_queue(): non-uniform service rates; pass an explicit "
             "service rate");
+    }
     return solve_queue(params_.apps.front().messages.front().service_rate);
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::core {
 
 Solution3Result solve_solution3(const HapParams& params) {
@@ -13,9 +15,12 @@ Solution3Result solve_solution3(const HapParams& params) {
 
 Solution3Result solve_solution3(const HapParams& params, const ChainBounds& bounds) {
     params.validate();
-    if (!params.uniform_service())
+    if (!params.uniform_service()) {
         throw std::invalid_argument("solve_solution3: uniform service rate required");
+    }
     const double mu = params.apps.front().messages.front().service_rate;
+    HAP_CHECK_FINITE(mu);
+    HAP_PRECOND(mu > 0.0);
 
     Solution3Result res;
     if (params.homogeneous_types()) {
@@ -28,6 +33,12 @@ Solution3Result solve_solution3(const HapParams& params, const ChainBounds& boun
         res.phase_states = chain.num_states();
         res.qbd = markov::solve_mmpp_m1(chain.dense_generator(),
                                         chain.arrival_rates(), mu);
+    }
+    // The QBD layer certifies its own law; re-assert the pieces Solution 3
+    // reports upward so a future refactor there cannot silently regress.
+    if (res.qbd.stable) {
+        HAP_CHECK_FINITE(res.qbd.mean_delay);
+        HAP_CHECK_PROB(res.qbd.utilization);
     }
     return res;
 }

@@ -2,6 +2,7 @@
 // replication runner, interval estimates, and JSON result output.
 #pragma once
 
+#include "experiment/grid.hpp"
 #include "experiment/json.hpp"
 #include "experiment/json_writer.hpp"
 #include "experiment/result.hpp"

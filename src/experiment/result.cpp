@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "core/contracts.hpp"
+
 namespace hap::experiment {
 
 double student_t_975(std::uint64_t dof) {
@@ -66,6 +68,10 @@ MergedResult MergedResult::merge(const std::vector<ReplicationResult>& runs) {
     m.replications = runs.size();
     stats::OnlineStats delay_means, number_means, util_means, tput_means, loss_means;
     for (const ReplicationResult& r : runs) {
+        HAP_CHECK_FINITE(r.delay.mean());
+        HAP_CHECK_FINITE(r.observed_time);
+        HAP_CHECK_PROB(r.utilization);
+        HAP_PRECOND(r.departures <= r.arrivals);
         m.delay.merge(r.delay);
         m.number.merge(r.number);
         m.busy.merge(r.busy);

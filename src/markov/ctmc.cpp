@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::markov {
 
 Ctmc::Ctmc(std::size_t num_states) : n_(num_states) {
@@ -15,6 +17,7 @@ void Ctmc::add_transition(std::size_t from, std::size_t to, double rate) {
     if (finalized_) throw std::logic_error("Ctmc: add_transition after finalize");
     if (from >= n_ || to >= n_) throw std::out_of_range("Ctmc: state out of range");
     if (from == to) throw std::invalid_argument("Ctmc: self-loop");
+    HAP_CHECK_FINITE(rate);  // a NaN rate passes every comparison below
     if (rate < 0.0) throw std::invalid_argument("Ctmc: negative rate");
     if (rate == 0.0) return;
     edges_.push_back(Transition{static_cast<std::uint32_t>(from),
@@ -59,6 +62,12 @@ void normalize(std::vector<double>& pi) {
     for (double& v : pi) v *= inv;
 }
 
+// Converged steady-state output must be a probability vector; a solver that
+// diverged to NaN or negative mass fails here, not in the caller's tables.
+void check_distribution(const std::vector<double>& pi) {
+    for (double p : pi) HAP_CHECK_PROB(p);
+}
+
 double max_relative_change(const std::vector<double>& a, const std::vector<double>& b) {
     double worst = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -97,6 +106,7 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
             res.iterations = iter;
             if (res.residual < opts.tol) {
                 res.converged = true;
+                check_distribution(res.pi);
                 return res;
             }
         }
@@ -133,6 +143,7 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
             res.iterations = iter;
             if (res.residual < opts.tol) {
                 res.converged = true;
+                check_distribution(res.pi);
                 return res;
             }
         }

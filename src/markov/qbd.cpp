@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::markov {
 
 using numerics::Matrix;
@@ -39,6 +41,11 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
     if (phase_generator.rows() != n || phase_generator.cols() != n)
         throw std::invalid_argument("solve_mmpp_m1: generator shape mismatch");
     if (service_rate <= 0.0) throw std::invalid_argument("solve_mmpp_m1: service_rate <= 0");
+    HAP_CHECK_FINITE(service_rate);
+    for (double rate : arrival_rates) {
+        HAP_CHECK_FINITE(rate);
+        HAP_PRECOND(rate >= 0.0);
+    }
 
     // Stability is decided by the exact drift condition pi . lambda < mu
     // (pi = stationary law of the modulating chain): the spectral radius of
@@ -146,6 +153,13 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
     double p_empty = std::accumulate(res.pi0.begin(), res.pi0.end(), 0.0);
     res.utilization = 1.0 - p_empty;
     res.mean_delay = res.mean_rate > 0.0 ? res.mean_level / res.mean_rate : 0.0;
+    // A stable QBD must hand back a usable law: boundary mass in [0,1] per
+    // phase, finite moments. Matrix-geometric breakdown surfaces here.
+    for (double p : res.pi0) HAP_CHECK_PROB(p);
+    HAP_CHECK_PROB(res.utilization);
+    HAP_CHECK_FINITE(res.mean_level);
+    HAP_CHECK_FINITE(res.mean_delay);
+    HAP_PRECOND(res.mean_level >= 0.0);
     return res;
 }
 

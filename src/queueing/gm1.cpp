@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "numerics/roots.hpp"
 
 namespace hap::queueing {
@@ -12,6 +13,8 @@ Gm1Result solve_gm1(const std::function<double(double)>& transform,
                     const Gm1Options& opts) {
     if (service_rate <= 0.0) throw std::invalid_argument("solve_gm1: service_rate <= 0");
     if (arrival_rate <= 0.0) throw std::invalid_argument("solve_gm1: arrival_rate <= 0");
+    HAP_CHECK_FINITE(service_rate);
+    HAP_CHECK_FINITE(arrival_rate);
 
     Gm1Result res;
     res.utilization = arrival_rate / service_rate;
@@ -58,6 +61,12 @@ Gm1Result solve_gm1(const std::function<double(double)>& transform,
     res.mean_wait = res.sigma / denom;
     res.mean_number = arrival_rate * res.mean_delay;
     res.iterations = opts.max_iter;  // iteration count not exposed by solvers
+    // The root sigma is a probability (P[arrival finds the system busy] in
+    // the embedded chain); a transform evaluated outside its strip of
+    // convergence drives it out of [0,1] and the delay to NaN.
+    HAP_CHECK_PROB(res.sigma);
+    HAP_CHECK_FINITE(res.mean_delay);
+    HAP_CHECK_FINITE(res.mean_number);
     return res;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "core/contracts.hpp"
+
 namespace hap::stats {
 
-void BusyPeriodTracker::observe(double time, std::uint64_t n) noexcept {
+void BusyPeriodTracker::observe(double time, std::uint64_t n) {
+    HAP_PRECOND(time >= last_event_time_);  // sample-path events are time-ordered
     const double dt = time - last_event_time_;
     if (dt > 0.0) {
         observed_total_ += dt;
@@ -38,7 +41,9 @@ void BusyPeriodTracker::finish(double time) noexcept {
     last_event_time_ = time;
 }
 
-void BusyPeriodTracker::merge(const BusyPeriodTracker& other) noexcept {
+void BusyPeriodTracker::merge(const BusyPeriodTracker& other) {
+    HAP_CHECK_FINITE(other.busy_time_total_);
+    HAP_PRECOND(other.busy_time_total_ <= other.observed_total_);
     busy_.merge(other.busy_);
     idle_.merge(other.idle_);
     heights_.merge(other.heights_);

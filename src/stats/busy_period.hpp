@@ -16,8 +16,9 @@ public:
         : last_event_time_(start_time), period_start_(start_time) {}
 
     // Report every change of the number-in-system. Times must be
-    // nondecreasing; `n` is the value AFTER the transition.
-    void observe(double time, std::uint64_t n) noexcept;
+    // nondecreasing (enforced via core::ContractViolation); `n` is the value
+    // AFTER the transition.
+    void observe(double time, std::uint64_t n);
 
     // Close the observation window; a busy period still in progress is
     // discarded (not counted) to avoid censoring bias, but the preceding idle
@@ -30,7 +31,7 @@ public:
     // independent runs or when a shared sample path was split at a busy→idle
     // transition (so no period straddles the cut). Both trackers should be
     // finish()ed first; the merged object is read-only.
-    void merge(const BusyPeriodTracker& other) noexcept;
+    void merge(const BusyPeriodTracker& other);
 
     const OnlineStats& busy_lengths() const noexcept { return busy_; }
     const OnlineStats& idle_lengths() const noexcept { return idle_; }

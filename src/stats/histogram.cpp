@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
@@ -28,8 +30,10 @@ void Histogram::add(double x) noexcept {
 }
 
 void Histogram::merge(const Histogram& other) {
-    if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size())
+    if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
         throw std::invalid_argument("Histogram::merge: binning mismatch");
+    }
+    HAP_PRECOND(other.underflow_ + other.overflow_ <= other.total_);
     for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
     underflow_ += other.underflow_;
     overflow_ += other.overflow_;

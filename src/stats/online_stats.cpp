@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hpp"
+
 namespace hap::stats {
 
 void OnlineStats::add(double x) noexcept {
@@ -14,8 +16,10 @@ void OnlineStats::add(double x) noexcept {
     max_ = std::max(max_, x);
 }
 
-void OnlineStats::merge(const OnlineStats& other) noexcept {
+void OnlineStats::merge(const OnlineStats& other) {
     if (other.n_ == 0) return;
+    HAP_CHECK_FINITE(other.mean_);
+    HAP_CHECK_FINITE(other.m2_);
     if (n_ == 0) {
         *this = other;
         return;
@@ -38,7 +42,8 @@ double OnlineStats::scv() const noexcept {
     return m != 0.0 ? variance() / (m * m) : 0.0;
 }
 
-void TimeWeightedStats::update(double time, double new_value) noexcept {
+void TimeWeightedStats::update(double time, double new_value) {
+    HAP_PRECOND(time >= last_time_);  // change points are nondecreasing in time
     const double dt = time - last_time_;
     if (dt > 0.0) {
         area_ += value_ * dt;
@@ -50,7 +55,10 @@ void TimeWeightedStats::update(double time, double new_value) noexcept {
     max_ = std::max(max_, new_value);
 }
 
-void TimeWeightedStats::merge(const TimeWeightedStats& other) noexcept {
+void TimeWeightedStats::merge(const TimeWeightedStats& other) {
+    HAP_PRECOND(other.total_time_ >= 0.0);
+    HAP_CHECK_FINITE(other.total_time_);
+    HAP_CHECK_FINITE(other.area_);
     area_ += other.area_;
     area2_ += other.area2_;
     total_time_ += other.total_time_;

@@ -11,7 +11,8 @@ namespace hap::stats {
 class OnlineStats {
 public:
     void add(double x) noexcept;
-    void merge(const OnlineStats& other) noexcept;
+    // Throws core::ContractViolation if `other` carries non-finite moments.
+    void merge(const OnlineStats& other);
 
     std::uint64_t count() const noexcept { return n_; }
     double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
@@ -46,15 +47,18 @@ public:
     explicit TimeWeightedStats(double start_time = 0.0, double start_value = 0.0) noexcept
         : last_time_(start_time), value_(start_value) {}
 
-    void update(double time, double new_value) noexcept;
+    // Change points must arrive in nondecreasing time order; a time stamp
+    // that moves backwards throws core::ContractViolation.
+    void update(double time, double new_value);
     // Close the observation window at `time` without changing the value.
-    void finish(double time) noexcept { update(time, value_); }
+    void finish(double time) { update(time, value_); }
 
     // Combine the closed observation window of `other` into this one, as if
     // both windows had been observed in a single pass. Both accumulators
     // should be finish()ed first; the merged object is for reading
     // (mean/variance/max/elapsed), not for further update() calls.
-    void merge(const TimeWeightedStats& other) noexcept;
+    // Throws core::ContractViolation on a non-finite or negative window.
+    void merge(const TimeWeightedStats& other);
 
     double elapsed() const noexcept { return total_time_; }
     double mean() const noexcept { return total_time_ > 0.0 ? area_ / total_time_ : 0.0; }

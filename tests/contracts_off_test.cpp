@@ -1,0 +1,37 @@
+// Compiled with -DHAP_NO_CONTRACTS (see tests/CMakeLists.txt): every contract
+// macro must be a complete no-op — no throw, and no evaluation of its
+// argument at all.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/contracts.hpp"
+
+#ifndef HAP_NO_CONTRACTS
+#error "contracts_off_test must be compiled with -DHAP_NO_CONTRACTS"
+#endif
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ContractsOff, MacrosNeverThrow) {
+    EXPECT_NO_THROW(HAP_PRECOND(false));
+    EXPECT_NO_THROW(HAP_CHECK_FINITE(kNan));
+    EXPECT_NO_THROW(HAP_CHECK_PROB(42.0));
+    EXPECT_NO_THROW(HAP_CHECK_PROB(-1.0));
+}
+
+TEST(ContractsOff, ArgumentsAreNotEvaluated) {
+    int calls = 0;
+    const auto bump = [&calls] {
+        ++calls;
+        return 0.5;
+    };
+    HAP_PRECOND(bump() > 0.0);
+    HAP_CHECK_FINITE(bump());
+    HAP_CHECK_PROB(bump());
+    EXPECT_EQ(calls, 0) << "disabled contracts must not evaluate their arguments";
+}
+
+}  // namespace

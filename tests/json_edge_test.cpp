@@ -1,0 +1,99 @@
+// JSON output edge cases: non-finite doubles, empty replication sets, and
+// single-replication confidence columns (the Student-t table has no row for
+// zero degrees of freedom — reps=1 must not divide by zero).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "stats/online_stats.hpp"
+
+namespace {
+
+using hap::experiment::Estimate;
+using hap::experiment::Json;
+using hap::experiment::JsonWriter;
+using hap::experiment::MergedResult;
+using hap::experiment::ReplicationResult;
+using hap::stats::OnlineStats;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(JsonEdge, NonFiniteNumbersSerializeAsNull) {
+    Json obj = Json::object();
+    obj.set("nan", Json::number(kNan));
+    obj.set("inf", Json::number(kInf));
+    obj.set("ninf", Json::number(-kInf));
+    obj.set("ok", Json::number(1.5));
+    EXPECT_EQ(obj.dump(0), R"({"nan":null,"inf":null,"ninf":null,"ok":1.5})");
+}
+
+TEST(JsonEdge, NonFiniteInsideArraysAndNesting) {
+    Json arr = Json::array();
+    arr.add(Json::number(kNan));
+    Json inner = Json::object();
+    inner.set("v", Json::number(kInf));
+    arr.add(std::move(inner));
+    EXPECT_EQ(arr.dump(0), R"([null,{"v":null}])");
+}
+
+TEST(JsonEdge, EmptyReplicationSetMergesToZeros) {
+    const MergedResult m = MergedResult::merge({});
+    EXPECT_EQ(m.replications, 0u);
+    EXPECT_EQ(m.delay_mean.replications, 0u);
+    EXPECT_DOUBLE_EQ(m.delay_mean.mean, 0.0);
+    EXPECT_DOUBLE_EQ(m.delay_mean.half_width, 0.0);
+
+    // The full metrics document must still be finite-or-null everywhere;
+    // empty accumulators (max over nothing, 0/0 means) must not leak -inf
+    // or NaN into the JSON text.
+    const std::string text = hap::experiment::metrics_json(m).dump(0);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
+TEST(JsonEdge, SingleReplicationHasZeroHalfWidth) {
+    OnlineStats means;
+    means.add(3.25);
+    const Estimate e = Estimate::from_replication_means(means);
+    EXPECT_EQ(e.replications, 1u);
+    EXPECT_DOUBLE_EQ(e.mean, 3.25);
+    // dof would be 0: there is no spread estimate from one replication, so
+    // the CI column must be exactly zero, not NaN or a divide-by-zero.
+    EXPECT_DOUBLE_EQ(e.half_width, 0.0);
+    EXPECT_DOUBLE_EQ(e.lo(), 3.25);
+    EXPECT_DOUBLE_EQ(e.hi(), 3.25);
+}
+
+TEST(JsonEdge, SingleReplicationMergedResultSerializes) {
+    ReplicationResult r;
+    r.run_id = 0;
+    r.delay.add(0.5);
+    r.arrivals = 1;
+    r.departures = 1;
+    r.utilization = 0.25;
+    r.observed_time = 10.0;
+    const MergedResult m = MergedResult::merge({r});
+    EXPECT_EQ(m.delay_mean.replications, 1u);
+    EXPECT_DOUBLE_EQ(m.delay_mean.half_width, 0.0);
+
+    JsonWriter w("json_edge_test");
+    Json point = JsonWriter::point("reps=1");
+    point.set("metrics", hap::experiment::metrics_json(m));
+    w.add_point(std::move(point));
+    const std::string doc = w.dump();
+    EXPECT_NE(doc.find("\"ci95\": 0"), std::string::npos);
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
+}
+
+TEST(JsonEdge, StudentTTableCoversAllDegreesOfFreedom) {
+    EXPECT_DOUBLE_EQ(hap::experiment::student_t_975(0), 0.0);  // undefined -> 0 CI
+    EXPECT_NEAR(hap::experiment::student_t_975(1), 12.706, 1e-9);
+    EXPECT_NEAR(hap::experiment::student_t_975(30), 2.042, 1e-9);
+    EXPECT_NEAR(hap::experiment::student_t_975(1000), 1.96, 1e-9);
+}
+
+}  // namespace

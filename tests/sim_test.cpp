@@ -187,10 +187,11 @@ TEST(Simulator, EventsCanScheduleAtCurrentTime) {
 TEST(Simulator, StopInsideHandler) {
     Simulator des;
     int count = 0;
-    for (int i = 1; i <= 10; ++i)
+    for (int i = 1; i <= 10; ++i) {
         des.schedule(i, [&] {
             if (++count == 3) des.stop();
         });
+    }
     des.run();
     EXPECT_EQ(count, 3);
     EXPECT_TRUE(des.stopped());

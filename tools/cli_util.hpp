@@ -35,9 +35,10 @@ public:
         if (it == values_.end()) return fallback;
         char* end = nullptr;
         const double v = std::strtod(it->second.c_str(), &end);
-        if (end == it->second.c_str() || *end != '\0')
+        if (end == it->second.c_str() || *end != '\0') {
             throw std::invalid_argument("--" + name + " expects a number, got '" +
                                         it->second + "'");
+        }
         return v;
     }
 

@@ -172,49 +172,32 @@ int cmd_fit(const cli::Flags& f) {
     return 0;
 }
 
-// Grid axis: "a,b,c" (comma list) or "lo:hi:step" (inclusive, step > 0).
-std::vector<double> parse_grid(const std::string& spec) {
-    std::vector<double> out;
-    if (spec.empty()) return out;
-    if (spec.find(':') != std::string::npos) {
-        double lo = 0.0, hi = 0.0, step = 0.0;
-        if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &lo, &hi, &step) != 3 ||
-            step <= 0.0 || hi < lo)
-            throw std::invalid_argument("bad grid spec '" + spec +
-                                        "' (want lo:hi:step with step > 0)");
-        for (double v = lo; v <= hi + 1e-9 * step; v += step) out.push_back(v);
-        return out;
-    }
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-        const std::size_t comma = spec.find(',', pos);
-        const std::string tok =
-            spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-        char* end = nullptr;
-        const double v = std::strtod(tok.c_str(), &end);
-        if (end == tok.c_str() || *end != '\0')
-            throw std::invalid_argument("bad grid value '" + tok + "'");
-        out.push_back(v);
-        if (comma == std::string::npos) break;
-        pos = comma + 1;
-    }
-    return out;
-}
-
 int cmd_sweep(const cli::Flags& f) {
     f.reject_unknown(with(kModelFlags,
                           {"service-grid", "lambda-grid", "reps", "horizon", "warmup",
                            "seed", "threads", "buffer", "json"}));
-    std::vector<double> services = parse_grid(f.text("service-grid", ""));
-    if (services.empty()) services.push_back(f.number("service", 20.0));
+    // Grid axes: "a,b,c" or "lo:hi:step" (experiment::parse_grid). An absent
+    // flag falls back to a single default point; a present-but-bad spec
+    // (including an empty one) is rejected with a clear error.
+    experiment::SweepArgs args;
+    args.services = f.has("service-grid")
+                        ? experiment::parse_grid(f.text("service-grid", ""))
+                        : std::vector<double>{f.number("service", 20.0)};
     // Workload axis: multipliers on the user arrival rate (the paper's Fig. 12
     // load knob).
-    std::vector<double> lambda_scales = parse_grid(f.text("lambda-grid", ""));
-    if (lambda_scales.empty()) lambda_scales.push_back(1.0);
+    args.lambda_scales = f.has("lambda-grid")
+                             ? experiment::parse_grid(f.text("lambda-grid", ""))
+                             : std::vector<double>{1.0};
+    args.horizon = f.number("horizon", 1e6);
+    args.warmup = f.number("warmup", args.horizon * 0.02);
+    args.reps = f.count("reps", 8);
+    args.validate();
 
-    const double horizon = f.number("horizon", 1e6);
-    const double warmup = f.number("warmup", horizon * 0.02);
-    const std::size_t reps = f.count("reps", 8);
+    const std::vector<double>& services = args.services;
+    const std::vector<double>& lambda_scales = args.lambda_scales;
+    const double horizon = args.horizon;
+    const double warmup = args.warmup;
+    const std::size_t reps = args.reps;
 
     std::vector<experiment::Scenario> grid;
     for (double service : services) {
@@ -301,11 +284,12 @@ int cmd_admission(const cli::Flags& f) {
     std::printf("%12s %12s %14s %12s\n", "user bound", "app bound", "lambda-bar",
                 "delay (s)");
     for (const auto& r : rows) {
-        if (r.feasible)
+        if (r.feasible) {
             std::printf("%12zu %12zu %14.4f %12.5f\n", r.max_users, r.max_apps,
                         r.mean_rate, r.mean_delay);
-        else
+        } else {
             std::printf("%12zu %12s %14s %12s\n", r.max_users, "-", "-", "infeasible");
+        }
     }
     return 0;
 }
