@@ -20,6 +20,7 @@
 #include <string>
 
 #include "experiment/experiment.hpp"
+#include "obs/metrics.hpp"
 
 namespace hap::bench {
 
@@ -62,7 +63,10 @@ inline std::string json_path(int argc, char** argv) {
 }
 
 // Attach the standard run metadata and write the document if a path was
-// requested (printing where it went).
+// requested (printing where it went). When HAP_BENCH_METRICS is set, the
+// collected observability registry is appended as the document-level
+// "metrics" block; when it is not, the document is byte-identical to one
+// written without instrumentation.
 inline void finish_json(hap::experiment::JsonWriter& writer, const std::string& path) {
     if (path.empty()) return;
     writer.meta("scale", hap::experiment::Json::number(scale()));
@@ -70,6 +74,10 @@ inline void finish_json(hap::experiment::JsonWriter& writer, const std::string& 
                                static_cast<std::uint64_t>(threads())));
     writer.meta("replications", hap::experiment::Json::integer(
                                     static_cast<std::uint64_t>(replications())));
+    if (hap::obs::enabled()) {
+        writer.metrics_block(
+            hap::experiment::obs_metrics_json(hap::obs::registry().snapshot()));
+    }
     if (writer.write_file(path))
         std::printf("\njson results written to %s\n", path.c_str());
     else

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace hap::core {
 
 namespace {
@@ -109,6 +111,7 @@ HapSimResult simulate_hap_queue(const HapParams& params, sim::RandomStream& rng,
         total += cat[2 + 3 * l] = queue.empty() ? 0.0 : queue.front().service_rate;
 
         if (total <= 0.0) break;  // frozen system (cannot happen with valid params)
+        ++res.events;
         const double dt = rng.exponential(total);
         const double hold_start = now;
         now += dt;
@@ -192,6 +195,14 @@ HapSimResult simulate_hap_queue(const HapParams& params, sim::RandomStream& rng,
     if (observed > 0.0) {
         res.time_at_user_bound /= observed;
         res.time_at_app_bound /= observed;
+    }
+    // Batched at run end so the event loop itself never touches the registry.
+    if (obs::enabled()) {
+        obs::MetricsRegistry& reg = obs::registry();
+        reg.add_counter("hap_sim.events", res.events);
+        reg.add_counter("hap_sim.arrivals", res.arrivals);
+        reg.add_counter("hap_sim.departures", res.departures);
+        reg.add_counter("hap_sim.losses", res.losses);
     }
     return res;
 }

@@ -45,6 +45,7 @@ struct HapSimResult {
     std::uint64_t arrivals = 0;
     std::uint64_t departures = 0;
     std::uint64_t losses = 0;  // drops at a full finite buffer (post-warmup)
+    std::uint64_t events = 0;  // total CTMC transitions simulated (incl. warmup)
     // Fraction of (post-warmup) time each admission bound was binding; a
     // blocked arrival never fires as an event in the CTMC simulation, so
     // blocking pressure is measured as time-at-bound.

@@ -8,6 +8,8 @@
 
 #include "core/contracts.hpp"
 #include "core/hap_chain.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::core {
 
@@ -266,6 +268,19 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
     Solution0Result res;
     res.states = g.size();
 
+    obs::ScopedTimer timer("solution0.solve_s");
+    const auto record = [&g, &timer](const Solution0Result& out) {
+        if (!obs::enabled()) return;
+        obs::SolverTelemetry t;
+        t.solver = "solution0";
+        t.iterations = out.sweeps;
+        t.residual = out.residual;
+        t.truncation = g.z_hi;
+        t.wall_time_s = timer.stop();
+        t.converged = out.converged;
+        obs::registry().record_solver(std::move(t));
+    };
+
     double prev_delay = -1.0;
     double prev_z = -1.0;
     LineWorkspace ws;
@@ -289,6 +304,7 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
             if (prev_delay >= 0.0) {
                 const double dd = std::abs(delay - prev_delay) / std::max(delay, 1e-12);
                 const double dz = std::abs(o.mean_z - prev_z) / std::max(o.mean_z, 1e-12);
+                res.residual = std::max(dd, dz);
                 if (dd < opts.tol && dz < opts.tol) {
                     res.converged = true;
                     res.mean_messages = o.mean_z;
@@ -305,6 +321,7 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
                     HAP_CHECK_PROB(res.utilization);
                     HAP_CHECK_PROB(res.sigma);
                     HAP_CHECK_PROB(res.truncation_mass);
+                    record(res);
                     return res;
                 }
             }
@@ -324,6 +341,7 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
     res.mean_apps = o.mean_y;
     res.truncation_mass = o.boundary;
     res.sweeps = opts.max_sweeps;
+    record(res);
     return res;
 }
 

@@ -33,6 +33,7 @@ struct Solution0Result {
     double mean_users = 0.0;
     double mean_apps = 0.0;
     double truncation_mass = 0.0; // probability on the x/y/z boundary shells
+    double residual = 0.0;        // last relative change of (delay, E[z]) observed
     std::size_t states = 0;
     std::size_t sweeps = 0;
     bool converged = false;

@@ -4,8 +4,27 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::core {
+
+namespace {
+
+void record_build(std::size_t states, std::size_t iterations, double residual,
+                  obs::ScopedTimer& timer) {
+    if (!obs::enabled()) return;
+    obs::SolverTelemetry t;
+    t.solver = "solution1";
+    t.iterations = iterations;
+    t.residual = residual;
+    t.truncation = states;
+    t.wall_time_s = timer.stop();
+    t.converged = true;  // non-convergence throws before this point
+    obs::registry().record_solver(std::move(t));
+}
+
+}  // namespace
 
 Solution1::Solution1(HapParams params)
     : Solution1(std::move(params), ChainBounds{}) {}
@@ -17,6 +36,7 @@ Solution1::Solution1(HapParams params, const ChainBounds& bounds)
     if (b.max_users == 0 && b.max_apps_total == 0 && b.max_apps_per_type == 0)
         b = ChainBounds::defaults_for(params_);
 
+    obs::ScopedTimer timer("solution1.build_s");
     if (params_.homogeneous_types()) {
         const LumpedChain chain(params_, b);
         const markov::SolveResult sol = chain.solve();
@@ -31,6 +51,7 @@ Solution1::Solution1(HapParams params, const ChainBounds& bounds)
             apps[s] = static_cast<double>(chain.apps_of(s));
         }
         analyze(sol.pi, chain.arrival_rates(), users, apps);
+        record_build(chain_states_, solver_iterations_, sol.residual, timer);
     } else {
         const GeneralChain chain(params_, b);
         const markov::SolveResult sol = chain.solve();
@@ -49,6 +70,7 @@ Solution1::Solution1(HapParams params, const ChainBounds& bounds)
             apps[s] = total;
         }
         analyze(sol.pi, chain.arrival_rates(), users, apps);
+        record_build(chain_states_, solver_iterations_, sol.residual, timer);
     }
 }
 

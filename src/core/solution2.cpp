@@ -6,6 +6,8 @@
 
 #include "core/contracts.hpp"
 #include "numerics/quadrature.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::core {
 
@@ -120,6 +122,7 @@ void Solution2::build_mixture() const {
             "Solution2: the finite-mixture path requires homogeneous application "
             "types (use the closed-form/quadrature path instead)");
     }
+    obs::ScopedTimer timer("solution2.mixture_s");
 
     const std::size_t l = params_.num_app_types();
     const ApplicationType& app = params_.apps.front();
@@ -175,6 +178,15 @@ void Solution2::build_mixture() const {
     }
     lambda_bar_bounded_ = lambda_bar;
     mixture_ = std::move(mix);
+    if (obs::enabled()) {
+        obs::SolverTelemetry t;
+        t.solver = "solution2.mixture";
+        t.iterations = px.size();  // user-marginal states folded into the mixture
+        t.truncation = ymax;
+        t.wall_time_s = timer.stop();
+        t.converged = true;
+        obs::registry().record_solver(std::move(t));
+    }
 }
 
 double Solution2::laplace(double s) const {

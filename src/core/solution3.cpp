@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::core {
 
@@ -22,6 +24,7 @@ Solution3Result solve_solution3(const HapParams& params, const ChainBounds& boun
     HAP_CHECK_FINITE(mu);
     HAP_PRECOND(mu > 0.0);
 
+    obs::ScopedTimer timer("solution3.solve_s");
     Solution3Result res;
     if (params.homogeneous_types()) {
         const LumpedChain chain(params, bounds);
@@ -39,6 +42,18 @@ Solution3Result solve_solution3(const HapParams& params, const ChainBounds& boun
     if (res.qbd.stable) {
         HAP_CHECK_FINITE(res.qbd.mean_delay);
         HAP_CHECK_PROB(res.qbd.utilization);
+    }
+    if (obs::enabled()) {
+        // The inner QBD solve records its own "qbd" entry; this one carries
+        // the phase-space truncation chosen at the Solution 3 layer.
+        obs::SolverTelemetry t;
+        t.solver = "solution3";
+        t.iterations = static_cast<std::uint64_t>(res.qbd.iterations);
+        t.residual = res.qbd.residual;
+        t.truncation = res.phase_states;
+        t.wall_time_s = timer.stop();
+        t.converged = res.qbd.converged;
+        obs::registry().record_solver(std::move(t));
     }
     return res;
 }

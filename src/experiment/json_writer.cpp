@@ -44,6 +44,60 @@ Json metrics_json(const MergedResult& m) {
     return metrics;
 }
 
+Json obs_metrics_json(const obs::MetricsSnapshot& snap) {
+    Json block = Json::object();
+    block.set("schema", Json::string("hap.obs.metrics/v1"));
+
+    Json counters = Json::object();
+    for (const auto& [name, value] : snap.counters)
+        counters.set(name, Json::integer(value));
+    block.set("counters", std::move(counters));
+
+    Json gauges = Json::object();
+    for (const auto& [name, value] : snap.gauges) gauges.set(name, Json::number(value));
+    block.set("gauges", std::move(gauges));
+
+    Json histograms = Json::object();
+    for (const auto& [name, h] : snap.histograms) {
+        Json hj = Json::object();
+        hj.set("count", Json::integer(h.count));
+        hj.set("sum", Json::number(h.sum));
+        hj.set("mean", Json::number(h.mean()));
+        hj.set("min", Json::number(h.count > 0 ? h.min : 0.0));
+        hj.set("max", Json::number(h.count > 0 ? h.max : 0.0));
+        // Sparse bucket encoding: only non-empty log2 buckets, as
+        // {"le": <inclusive upper edge>, "n": <count>}.
+        Json buckets = Json::array();
+        for (int i = 0; i < obs::HistogramData::kBuckets; ++i) {
+            const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];
+            if (n == 0) continue;
+            Json b = Json::object();
+            b.set("le", Json::number(obs::HistogramData::bucket_upper(i)));
+            b.set("n", Json::integer(n));
+            buckets.add(std::move(b));
+        }
+        hj.set("buckets", std::move(buckets));
+        histograms.set(name, std::move(hj));
+    }
+    block.set("histograms", std::move(histograms));
+
+    Json solvers = Json::array();
+    for (const obs::SolverTelemetry& t : snap.solvers) {
+        Json tj = Json::object();
+        tj.set("solver", Json::string(t.solver));
+        tj.set("label", Json::string(t.label));
+        tj.set("run", Json::integer(t.run_id));
+        tj.set("iterations", Json::integer(t.iterations));
+        tj.set("residual", Json::number(t.residual));
+        tj.set("truncation", Json::integer(t.truncation));
+        tj.set("wall_s", Json::number(t.wall_time_s));
+        tj.set("converged", Json::boolean(t.converged));
+        solvers.add(std::move(tj));
+    }
+    block.set("solvers", std::move(solvers));
+    return block;
+}
+
 JsonWriter::JsonWriter(std::string bench_id) : bench_id_(std::move(bench_id)) {}
 
 JsonWriter& JsonWriter::meta(const std::string& key, Json value) {
@@ -68,6 +122,12 @@ JsonWriter& JsonWriter::add_point(Json point) {
     return *this;
 }
 
+JsonWriter& JsonWriter::metrics_block(Json metrics) {
+    metrics_.clear();
+    metrics_.push_back(std::move(metrics));
+    return *this;
+}
+
 std::string JsonWriter::dump() const {
     Json doc = Json::object();
     doc.set("schema", Json::string("hap.bench.result/v1"));
@@ -76,6 +136,7 @@ std::string JsonWriter::dump() const {
     Json points = Json::array();
     for (const Json& p : points_) points.add(p);
     doc.set("points", std::move(points));
+    if (!metrics_.empty()) doc.set("metrics", metrics_.front());
     return doc.dump(2) + "\n";
 }
 

@@ -27,12 +27,19 @@
 
 #include "experiment/json.hpp"
 #include "experiment/result.hpp"
+#include "obs/metrics.hpp"
 
 namespace hap::experiment {
 
 Json to_json(const Estimate& e);
 // The "metrics" object of a point: interval estimates + pooled accumulators.
 Json metrics_json(const MergedResult& m);
+
+// Serialize a registry snapshot as the document-level "metrics" block,
+// schema "hap.obs.metrics/v1": sorted counters/gauges/histograms plus the
+// canonically ordered solver-telemetry records. Non-finite doubles are
+// emitted as null (the Json layer's rule).
+Json obs_metrics_json(const obs::MetricsSnapshot& snap);
 
 class JsonWriter {
 public:
@@ -45,6 +52,11 @@ public:
     static Json point(const std::string& label);
     JsonWriter& add_point(Json point);
 
+    // Optional document-level observability block (schema
+    // "hap.obs.metrics/v1"), emitted after "points". When never set, the
+    // document is byte-identical to a writer without this feature.
+    JsonWriter& metrics_block(Json metrics);
+
     std::string dump() const;
     // Serialize to `path`; returns false (and prints nothing) on I/O error.
     bool write_file(const std::string& path) const;
@@ -53,6 +65,7 @@ private:
     std::string bench_id_;
     std::vector<std::pair<std::string, Json>> meta_;
     std::vector<Json> points_;
+    std::vector<Json> metrics_;  // empty or one document-level metrics block
 };
 
 }  // namespace hap::experiment

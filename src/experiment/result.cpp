@@ -41,6 +41,7 @@ ReplicationResult ReplicationResult::from(std::uint64_t run_id, core::HapSimResu
     r.arrivals = res.arrivals;
     r.departures = res.departures;
     r.losses = res.losses;
+    r.events = res.events;
     r.utilization = res.utilization;
     r.observed_time = res.horizon - warmup;
     r.delays = std::move(res.delays);
@@ -57,6 +58,7 @@ ReplicationResult ReplicationResult::from(std::uint64_t run_id,
     r.arrivals = res.arrivals;
     r.departures = res.departures;
     r.losses = res.losses;
+    r.events = res.events;
     r.utilization = res.utilization;
     r.observed_time = res.horizon - warmup;
     r.delays = std::move(res.delays);
@@ -78,6 +80,7 @@ MergedResult MergedResult::merge(const std::vector<ReplicationResult>& runs) {
         m.arrivals += r.arrivals;
         m.departures += r.departures;
         m.losses += r.losses;
+        m.events += r.events;
         m.observed_time += r.observed_time;
 
         delay_means.add(r.delay.mean());

@@ -44,8 +44,10 @@ struct ReplicationResult {
     std::uint64_t arrivals = 0;
     std::uint64_t departures = 0;
     std::uint64_t losses = 0;
+    std::uint64_t events = 0;    // simulated events (deterministic per seed)
     double utilization = 0.0;
     double observed_time = 0.0;  // horizon - warmup
+    double wall_time_s = 0.0;    // set by the runner iff metrics are enabled
     std::vector<double> delays;  // iff Scenario::record_delays
 
     static ReplicationResult from(std::uint64_t run_id, core::HapSimResult res,
@@ -65,6 +67,7 @@ struct MergedResult {
     std::uint64_t arrivals = 0;
     std::uint64_t departures = 0;
     std::uint64_t losses = 0;
+    std::uint64_t events = 0;  // pooled simulated-event count
     double observed_time = 0.0;
 
     // 95% CIs across replication means.

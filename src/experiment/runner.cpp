@@ -1,12 +1,43 @@
 #include "experiment/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
 namespace hap::experiment {
+
+namespace {
+
+// Per-replication telemetry, recorded only when metrics are enabled: the
+// deterministic fields (events as "iterations") plus wall time, a timing
+// histogram, and a progress counter/gauge for long sweeps.
+void record_replication(const std::string& label, std::uint64_t run_id,
+                        ReplicationResult& r, double seconds, std::uint64_t done,
+                        std::uint64_t total) {
+    r.wall_time_s = seconds;
+    obs::MetricsRegistry& reg = obs::registry();
+    obs::SolverTelemetry t;
+    t.solver = "replication";
+    t.label = label;
+    t.run_id = run_id;
+    t.iterations = r.events;
+    t.wall_time_s = seconds;
+    t.converged = true;
+    reg.record_solver(std::move(t));
+    reg.observe("experiment.replication_s", seconds);
+    reg.add_counter("experiment.replications");
+    reg.set_gauge("experiment.jobs_pending",
+                  static_cast<double>(total - std::min(done, total)));
+}
+
+}  // namespace
 
 std::size_t env_threads() {
     if (const char* env = std::getenv("HAP_BENCH_THREADS")) {
@@ -68,9 +99,17 @@ std::vector<ReplicationResult> ExperimentRunner::replicate(
     const Scenario& sc, const SimulateFn& simulate) const {
     sc.validate();
     std::vector<ReplicationResult> out(sc.replications);
+    const bool metrics = obs::enabled();
+    std::atomic<std::uint64_t> done{0};
     parallel_for(sc.replications, [&](std::size_t i) {
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
         sim::RandomStream rng = sc.stream(i);
         out[i] = simulate(sc, i, rng);
+        if (metrics) {
+            record_replication(sc.name, i, out[i], obs::seconds_since(t0),
+                               done.fetch_add(1) + 1, sc.replications);
+        }
     });
     return out;
 }
@@ -100,13 +139,21 @@ std::vector<MergedResult> ExperimentRunner::run_all(const std::vector<Scenario>&
     std::vector<std::vector<ReplicationResult>> runs(grid.size());
     for (std::size_t s = 0; s < grid.size(); ++s) runs[s].resize(grid[s].replications);
 
+    const bool metrics = obs::enabled();
+    std::atomic<std::uint64_t> done{0};
     parallel_for(offsets.back(), [&](std::size_t job) {
         // Scenarios are few; a linear scan beats binary search bookkeeping.
         std::size_t s = 0;
         while (job >= offsets[s + 1]) ++s;
         const std::size_t rep = job - offsets[s];
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
         sim::RandomStream rng = grid[s].stream(rep);
         runs[s][rep] = simulate(grid[s], rep, rng);
+        if (metrics) {
+            record_replication(grid[s].name, rep, runs[s][rep], obs::seconds_since(t0),
+                               done.fetch_add(1) + 1, offsets.back());
+        }
     });
 
     std::vector<MergedResult> merged;

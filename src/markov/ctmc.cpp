@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::markov {
 
@@ -68,6 +70,19 @@ void check_distribution(const std::vector<double>& pi) {
     for (double p : pi) HAP_CHECK_PROB(p);
 }
 
+void record_solve(const char* solver, const SolveResult& res, std::size_t n,
+                  obs::ScopedTimer& timer) {
+    if (!obs::enabled()) return;
+    obs::SolverTelemetry t;
+    t.solver = solver;
+    t.iterations = static_cast<std::uint64_t>(res.iterations);
+    t.residual = res.residual;
+    t.truncation = n;
+    t.wall_time_s = timer.stop();
+    t.converged = res.converged;
+    obs::registry().record_solver(std::move(t));
+}
+
 double max_relative_change(const std::vector<double>& a, const std::vector<double>& b) {
     double worst = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -83,6 +98,7 @@ double max_relative_change(const std::vector<double>& a, const std::vector<doubl
 
 SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
     if (!chain.finalized()) throw std::logic_error("solve_steady_state: finalize first");
+    obs::ScopedTimer timer("ctmc.gs_s");
     const std::size_t n = chain.num_states();
     SolveResult res;
     res.pi.assign(n, 1.0 / static_cast<double>(n));
@@ -107,16 +123,19 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
             if (res.residual < opts.tol) {
                 res.converged = true;
                 check_distribution(res.pi);
+                record_solve("ctmc.gs", res, n, timer);
                 return res;
             }
         }
     }
     res.iterations = opts.max_iter;
+    record_solve("ctmc.gs", res, n, timer);
     return res;
 }
 
 SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts) {
     if (!chain.finalized()) throw std::logic_error("solve_steady_state_power: finalize first");
+    obs::ScopedTimer timer("ctmc.power_s");
     const std::size_t n = chain.num_states();
     double lambda = 0.0;
     for (std::size_t s = 0; s < n; ++s) lambda = std::max(lambda, chain.exit_rate(s));
@@ -144,11 +163,13 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
             if (res.residual < opts.tol) {
                 res.converged = true;
                 check_distribution(res.pi);
+                record_solve("ctmc.power", res, n, timer);
                 return res;
             }
         }
     }
     res.iterations = opts.max_iter;
+    record_solve("ctmc.power", res, n, timer);
     return res;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::markov {
 
@@ -46,6 +48,19 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
         HAP_CHECK_FINITE(rate);
         HAP_PRECOND(rate >= 0.0);
     }
+
+    obs::ScopedTimer timer("qbd.solve_s");
+    const auto record = [n, &timer](const QbdResult& r) {
+        if (!obs::enabled()) return;
+        obs::SolverTelemetry t;
+        t.solver = "qbd";
+        t.iterations = static_cast<std::uint64_t>(r.iterations);
+        t.residual = r.residual;
+        t.truncation = n;
+        t.wall_time_s = timer.stop();
+        t.converged = r.converged;
+        obs::registry().record_solver(std::move(t));
+    };
 
     // Stability is decided by the exact drift condition pi . lambda < mu
     // (pi = stationary law of the modulating chain): the spectral radius of
@@ -103,8 +118,10 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
         const std::vector<double> rowsum = g.apply(ones);
         double defect = 0.0;
         for (double r : rowsum) defect = std::max(defect, std::abs(1.0 - r));
+        res.residual = std::min(defect, t.max_abs());
         if (t.max_abs() < opts.tol || defect < opts.tol) {
             ++res.iterations;
+            res.converged = true;
             break;
         }
     }
@@ -122,7 +139,10 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
         for (std::size_t j = 0; j < n; ++j) res.r(i, j) *= arrival_rates[i];
 
     res.spectral_radius = spectral_radius(res.r);  // diagnostic only
-    if (!res.stable) return res;
+    if (!res.stable) {
+        record(res);
+        return res;
+    }
 
     // Boundary: pi0 (B00 + R A2) = 0 with B00 = Q - diag(arrivals);
     // normalization pi0 (I - R)^{-1} 1 = 1.
@@ -160,6 +180,7 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
     HAP_CHECK_FINITE(res.mean_level);
     HAP_CHECK_FINITE(res.mean_delay);
     HAP_PRECOND(res.mean_level >= 0.0);
+    record(res);
     return res;
 }
 

@@ -25,8 +25,10 @@ struct QbdResult {
     double mean_delay = 0.0;        // E[time in system] via Little
     double utilization = 0.0;       // P(level > 0)
     double spectral_radius = 0.0;   // sp(R): stability requires < 1
+    double residual = 0.0;          // final row-sum defect of G (see solver)
     int iterations = 0;
     bool stable = false;
+    bool converged = false;  // reduction hit tol (false = iteration budget spent)
 };
 
 // Solve the MMPP/M/1 queue. `phase_generator` is the modulating chain's

@@ -4,8 +4,17 @@
 
 namespace hap::numerics {
 
+namespace {
+
+void report_iterations(const RootOptions& opts, int used) {
+    if (opts.iterations_out != nullptr) *opts.iterations_out = used;
+}
+
+}  // namespace
+
 std::optional<double> bisect(const std::function<double(double)>& f, double lo,
                              double hi, const RootOptions& opts) {
+    report_iterations(opts, 0);
     double flo = f(lo);
     double fhi = f(hi);
     if (flo == 0.0) return lo;
@@ -14,7 +23,10 @@ std::optional<double> bisect(const std::function<double(double)>& f, double lo,
     for (int i = 0; i < opts.max_iter; ++i) {
         const double mid = 0.5 * (lo + hi);
         const double fmid = f(mid);
-        if (fmid == 0.0 || hi - lo < opts.tol) return mid;
+        if (fmid == 0.0 || hi - lo < opts.tol) {
+            report_iterations(opts, i + 1);
+            return mid;
+        }
         if (std::signbit(fmid) == std::signbit(flo)) {
             lo = mid;
             flo = fmid;
@@ -22,6 +34,7 @@ std::optional<double> bisect(const std::function<double(double)>& f, double lo,
             hi = mid;
         }
     }
+    report_iterations(opts, opts.max_iter);
     return 0.5 * (lo + hi);
 }
 
@@ -30,14 +43,19 @@ std::optional<double> damped_fixed_point(const std::function<double(double)>& g,
     double x = x0;
     for (int i = 0; i < opts.max_iter; ++i) {
         const double gx = g(x);
-        if (std::abs(gx - x) < opts.tol) return gx;
+        if (std::abs(gx - x) < opts.tol) {
+            report_iterations(opts, i + 1);
+            return gx;
+        }
         x = 0.5 * (gx + x);
     }
+    report_iterations(opts, opts.max_iter);
     return std::nullopt;
 }
 
 std::optional<double> brent(const std::function<double(double)>& f, double lo,
                             double hi, const RootOptions& opts) {
+    report_iterations(opts, 0);
     double a = lo, b = hi;
     double fa = f(a), fb = f(b);
     if (fa == 0.0) return a;
@@ -85,8 +103,12 @@ std::optional<double> brent(const std::function<double(double)>& f, double lo,
             std::swap(a, b);
             std::swap(fa, fb);
         }
-        if (fb == 0.0 || std::abs(b - a) < opts.tol) return b;
+        if (fb == 0.0 || std::abs(b - a) < opts.tol) {
+            report_iterations(opts, i + 1);
+            return b;
+        }
     }
+    report_iterations(opts, opts.max_iter);
     return b;
 }
 

@@ -11,6 +11,10 @@ namespace hap::numerics {
 struct RootOptions {
     double tol = 1e-12;
     int max_iter = 200;
+    // When non-null, receives the number of iterations consumed (written on
+    // every exit path, including bracket rejection, where it is 0). Callers
+    // use it for solver telemetry; it never changes the iteration itself.
+    int* iterations_out = nullptr;
 };
 
 // Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs.

@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <tuple>
+
+namespace hap::obs {
+
+namespace {
+
+bool env_enabled() {
+    const char* v = std::getenv("HAP_BENCH_METRICS");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{env_enabled()};
+    return flag;
+}
+
+thread_local std::string t_scope_label;
+
+}  // namespace
+
+bool enabled() noexcept { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+    enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void HistogramData::observe(double value) {
+    ++count;
+    sum += value;
+    if (count == 1) {
+        min = value;
+        max = value;
+    } else {
+        min = std::min(min, value);
+        max = std::max(max, value);
+    }
+    int idx = 0;
+    if (value > 0.0 && std::isfinite(value)) {
+        // ilogb(v) = e with 2^e <= v < 2^(e+1), so v lies in bucket
+        // e - kMinExponent — except exactly v = 2^e, which is the inclusive
+        // upper edge of the bucket below.
+        const int e = std::ilogb(value);
+        const bool on_edge = std::ldexp(1.0, e) == value;
+        idx = std::clamp(e - kMinExponent - (on_edge ? 1 : 0), 0, kBuckets - 1);
+    } else if (std::isinf(value) && value > 0.0) {
+        idx = kBuckets - 1;
+    }
+    ++buckets[static_cast<std::size_t>(idx)];
+}
+
+void HistogramData::merge(const HistogramData& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+    for (int i = 0; i < kBuckets; ++i)
+        buckets[static_cast<std::size_t>(i)] += other.buckets[static_cast<std::size_t>(i)];
+}
+
+double HistogramData::bucket_upper(int i) {
+    return std::ldexp(1.0, i + kMinExponent + 1);
+}
+
+std::uint64_t MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+    if (!enabled()) return 0;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(name), 0).first;
+    it->second += delta;
+    return it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), 0.0).first;
+    it->second = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), HistogramData{}).first;
+    it->second.observe(value);
+}
+
+void MetricsRegistry::record_solver(SolverTelemetry record) {
+    if (!enabled()) return;
+    if (record.label.empty()) record.label = ScopedLabel::current();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    solvers_.push_back(std::move(record));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        snap.counters.assign(counters_.begin(), counters_.end());
+        snap.gauges.assign(gauges_.begin(), gauges_.end());
+        snap.histograms.assign(histograms_.begin(), histograms_.end());
+        snap.solvers = solvers_;
+    }
+    // Worker threads append telemetry in scheduling order; sort to a canonical
+    // order so serialized output is independent of the thread count.
+    std::stable_sort(snap.solvers.begin(), snap.solvers.end(),
+                     [](const SolverTelemetry& a, const SolverTelemetry& b) {
+                         return std::tie(a.label, a.solver, a.run_id) <
+                                std::tie(b.label, b.solver, b.run_id);
+                     });
+    return snap;
+}
+
+std::string MetricsRegistry::report() const {
+    const MetricsSnapshot snap = snapshot();
+    std::string out;
+    char line[256];
+    const auto emit = [&out, &line](int n) {
+        if (n > 0) out.append(line, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                          sizeof(line) - 1));
+    };
+
+    out += "== metrics ==\n";
+    if (!snap.counters.empty()) {
+        out += "counters:\n";
+        for (const auto& [name, value] : snap.counters) {
+            emit(std::snprintf(line, sizeof(line), "  %-34s %12llu\n", name.c_str(),
+                               static_cast<unsigned long long>(value)));
+        }
+    }
+    if (!snap.gauges.empty()) {
+        out += "gauges:\n";
+        for (const auto& [name, value] : snap.gauges)
+            emit(std::snprintf(line, sizeof(line), "  %-34s %12.6g\n", name.c_str(), value));
+    }
+    if (!snap.histograms.empty()) {
+        out += "histograms:\n";
+        for (const auto& [name, h] : snap.histograms) {
+            emit(std::snprintf(line, sizeof(line),
+                               "  %-34s n=%-8llu mean=%-12.6g min=%-12.6g max=%.6g\n",
+                               name.c_str(), static_cast<unsigned long long>(h.count),
+                               h.mean(), h.min, h.max));
+        }
+    }
+    if (!snap.solvers.empty()) {
+        out += "solver telemetry (label / solver / run):\n";
+        emit(std::snprintf(line, sizeof(line), "  %-24s %-16s %4s %10s %10s %9s %12s %s\n",
+                           "label", "solver", "run", "iters", "trunc", "conv",
+                           "residual", "wall_s"));
+        for (const auto& t : snap.solvers) {
+            emit(std::snprintf(line, sizeof(line),
+                               "  %-24s %-16s %4llu %10llu %10llu %9s %12.4g %.4g\n",
+                               t.label.empty() ? "-" : t.label.c_str(), t.solver.c_str(),
+                               static_cast<unsigned long long>(t.run_id),
+                               static_cast<unsigned long long>(t.iterations),
+                               static_cast<unsigned long long>(t.truncation),
+                               t.converged ? "yes" : "NO", t.residual, t.wall_time_s));
+        }
+    }
+    if (snap.counters.empty() && snap.gauges.empty() && snap.histograms.empty() &&
+        snap.solvers.empty()) {
+        out += "(empty)\n";
+    }
+    return out;
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    solvers_.clear();
+}
+
+MetricsRegistry& registry() {
+    static MetricsRegistry instance;
+    return instance;
+}
+
+ScopedLabel::ScopedLabel(std::string label) : prev_(std::move(t_scope_label)) {
+    t_scope_label = std::move(label);
+}
+
+ScopedLabel::~ScopedLabel() { t_scope_label = std::move(prev_); }
+
+const std::string& ScopedLabel::current() noexcept { return t_scope_label; }
+
+}  // namespace hap::obs

@@ -1,0 +1,28 @@
+// Per-invocation solver diagnostics.
+//
+// A SolverTelemetry record captures the convergence story of one solver (or
+// simulator) run: how many iterations it burned, how close it got, how large
+// the truncated state space was, and whether it declared convergence. Every
+// field except wall_time_s is a deterministic function of the solver inputs,
+// so records are bit-identical across thread counts and safe to assert on in
+// tests; wall_time_s is the single wall-clock-derived field and is excluded
+// from determinism checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hap::obs {
+
+struct SolverTelemetry {
+    std::string solver;   // e.g. "solution0", "qbd", "gm1.sigma", "hap_sim"
+    std::string label;    // scenario / sweep-point name ("" when unscoped)
+    std::uint64_t run_id = 0;      // replication id (0 for analytic solves)
+    std::uint64_t iterations = 0;  // sweeps / reduction cycles / events
+    double residual = 0.0;         // final residual or sigma error
+    std::uint64_t truncation = 0;  // states kept / truncation level
+    double wall_time_s = 0.0;      // non-deterministic; 0 when clocks skipped
+    bool converged = false;
+};
+
+}  // namespace hap::obs

@@ -1,0 +1,58 @@
+// RAII profiling timer feeding the metrics registry.
+//
+// When metrics are disabled the constructor reads one relaxed atomic and the
+// destructor one bool — no clock reads, no lock, no allocation — so timers can
+// stay compiled into hot-ish paths (per-solve, per-replication; never
+// per-event). Elapsed samples are recorded into the histogram named at
+// construction, in seconds.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace hap::obs {
+
+// Seconds elapsed since `start` on the monotonic clock.
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+class ScopedTimer {
+public:
+    explicit ScopedTimer(const char* name) : name_(name), armed_(enabled()) {
+        if (armed_) start_ = std::chrono::steady_clock::now();
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    ~ScopedTimer() {
+        try {
+            stop();
+        } catch (...) {  // registry allocation failure must not escape a dtor
+        }
+    }
+
+    // Records the elapsed time and disarms; returns the sample (0 when the
+    // timer was constructed disabled or already stopped).
+    double stop() {
+        if (!armed_) return 0.0;
+        armed_ = false;
+        const double s = seconds_since(start_);
+        registry().observe(name_, s);
+        return s;
+    }
+
+    // Seconds since construction without recording (0 when disarmed).
+    double elapsed() const {
+        return armed_ ? seconds_since(start_) : 0.0;
+    }
+
+private:
+    const char* name_;
+    bool armed_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace hap::obs

@@ -5,6 +5,8 @@
 
 #include "core/contracts.hpp"
 #include "numerics/roots.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::queueing {
 
@@ -35,24 +37,44 @@ Gm1Result solve_gm1(const std::function<double(double)>& transform,
         return transform(service_rate * (1.0 - sigma));
     };
 
+    obs::ScopedTimer timer("gm1.solve_s");
+
     numerics::RootOptions ropts;
     ropts.tol = opts.tol;
     ropts.max_iter = opts.max_iter;
+    int stage_iters = 0;
+    int used_iters = 0;
+    ropts.iterations_out = &stage_iters;
 
     std::optional<double> root;
     if (opts.method == SigmaMethod::kPaperAveraging) {
         root = numerics::damped_fixed_point(g, 0.5, ropts);
+        used_iters = stage_iters;
     } else {
         // sigma = 1 is always a root of g(s) - s; the queueing root is the
         // unique one in (0, 1) when rho < 1. Bracket away from 1.
         root = numerics::brent([&](double s) { return g(s) - s; }, 0.0,
                                1.0 - 1e-12, ropts);
+        used_iters = stage_iters;
         // Near saturation the bracket can degenerate (both endpoints same
         // sign within rounding); the paper's averaging iteration still
         // converges there, so fall back to it.
-        if (!root) root = numerics::damped_fixed_point(g, 0.5, ropts);
+        if (!root) {
+            root = numerics::damped_fixed_point(g, 0.5, ropts);
+            used_iters += stage_iters;
+        }
     }
-    if (!root) throw std::runtime_error("solve_gm1: sigma iteration failed to converge");
+    if (!root) {
+        if (obs::enabled()) {
+            obs::SolverTelemetry t;
+            t.solver = "gm1.sigma";
+            t.iterations = static_cast<std::uint64_t>(used_iters);
+            t.wall_time_s = timer.stop();
+            t.converged = false;
+            obs::registry().record_solver(std::move(t));
+        }
+        throw std::runtime_error("solve_gm1: sigma iteration failed to converge");
+    }
 
     res.sigma = *root;
     res.stable = res.sigma < 1.0;
@@ -60,7 +82,16 @@ Gm1Result solve_gm1(const std::function<double(double)>& transform,
     res.mean_delay = 1.0 / denom;
     res.mean_wait = res.sigma / denom;
     res.mean_number = arrival_rate * res.mean_delay;
-    res.iterations = opts.max_iter;  // iteration count not exposed by solvers
+    res.iterations = used_iters;
+    if (obs::enabled()) {
+        obs::SolverTelemetry t;
+        t.solver = "gm1.sigma";
+        t.iterations = static_cast<std::uint64_t>(used_iters);
+        t.residual = std::abs(g(res.sigma) - res.sigma);
+        t.wall_time_s = timer.stop();
+        t.converged = true;
+        obs::registry().record_solver(std::move(t));
+    }
     // The root sigma is a probability (P[arrival finds the system busy] in
     // the embedded chain); a transform evaluated outside its strip of
     // convergence drives it out of [0,1] and the delay to NaN.

@@ -29,7 +29,7 @@ struct Gm1Result {
     double utilization = 0.0; // lambda / mu
     double mean_number = 0.0; // via Little: lambda * mean_delay
     bool stable = false;
-    int iterations = 0;
+    int iterations = 0;  // root-solver iterations consumed (0 when unstable)
 };
 
 // `transform` evaluates A*(s) for s >= 0; `service_rate` is mu;

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace hap::queueing {
 
 QueueSimResult simulate_queue(traffic::ArrivalProcess& arrivals,
@@ -33,6 +35,7 @@ QueueSimResult simulate_queue(traffic::ArrivalProcess& arrivals,
         const double t = arrival_first ? next_arrival : next_departure;
         if (t >= opts.horizon || t == kInf) break;
         now = t;
+        ++res.events;
 
         if (arrival_first) {
             if (opts.buffer_capacity > 0 && in_system.size() >= opts.buffer_capacity) {
@@ -74,6 +77,13 @@ QueueSimResult simulate_queue(traffic::ArrivalProcess& arrivals,
     res.number.finish(opts.horizon);
     res.busy.finish(opts.horizon);
     res.utilization = res.busy.busy_fraction();
+    // Batched at run end so the event loop itself never touches the registry.
+    if (obs::enabled()) {
+        obs::MetricsRegistry& reg = obs::registry();
+        reg.add_counter("queue_sim.events", res.events);
+        reg.add_counter("queue_sim.arrivals", res.arrivals);
+        reg.add_counter("queue_sim.losses", res.losses);
+    }
     return res;
 }
 

@@ -37,6 +37,7 @@ struct QueueSimResult {
     std::uint64_t arrivals = 0;
     std::uint64_t departures = 0;
     std::uint64_t losses = 0;  // drops at a full finite buffer (post-warmup)
+    std::uint64_t events = 0;  // arrival + departure events processed (incl. warmup)
     double horizon = 0.0;
     double utilization = 0.0;           // fraction of time server busy
     std::vector<double> delays;         // iff record_delays

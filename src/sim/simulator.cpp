@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace hap::sim {
 
 EventId Simulator::schedule(double delay, Action action) {
@@ -34,6 +36,7 @@ bool Simulator::pop_next(Entry& out) {
 
 void Simulator::run_until(double until) {
     stopped_ = false;
+    const std::uint64_t before = processed_;
     Entry e{};
     while (!stopped_ && pop_next(e)) {
         if (e.time >= until) {
@@ -49,10 +52,13 @@ void Simulator::run_until(double until) {
         action();
     }
     if (!stopped_ && now_ < until) now_ = until;
+    // Batched: the event loop never touches the registry per event.
+    if (obs::enabled()) obs::registry().add_counter("sim.events", processed_ - before);
 }
 
 void Simulator::run() {
     stopped_ = false;
+    const std::uint64_t before = processed_;
     Entry e{};
     while (!stopped_ && pop_next(e)) {
         now_ = e.time;
@@ -62,6 +68,7 @@ void Simulator::run() {
         ++processed_;
         action();
     }
+    if (obs::enabled()) obs::registry().add_counter("sim.events", processed_ - before);
 }
 
 }  // namespace hap::sim

@@ -10,6 +10,7 @@
 
 #include "core/hap_params.hpp"
 #include "experiment/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "stats/online_stats.hpp"
 
 namespace {
@@ -47,6 +48,62 @@ TEST(Runner, MergedMeansBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(seq.departures, par.departures);
     EXPECT_EQ(seq.delay_mean.mean, par.delay_mean.mean);
     EXPECT_EQ(seq.delay_mean.half_width, par.delay_mean.half_width);
+}
+
+TEST(Runner, TelemetryDeterministicAcrossThreadCounts) {
+    // With metrics on, the snapshot must be identical at 1 and 8 threads in
+    // every deterministic field — only wall_time_s may differ. This extends
+    // the bit-identity guarantee from results to telemetry.
+    const Scenario sc = small_scenario();
+    hap::obs::set_enabled(true);
+    hap::obs::registry().reset();
+    const MergedResult seq = ExperimentRunner(1).run(sc);
+    const hap::obs::MetricsSnapshot ss = hap::obs::registry().snapshot();
+    hap::obs::registry().reset();
+    const MergedResult par = ExperimentRunner(8).run(sc);
+    const hap::obs::MetricsSnapshot ps = hap::obs::registry().snapshot();
+    hap::obs::registry().reset();
+    hap::obs::set_enabled(false);
+
+    EXPECT_EQ(seq.delay.mean(), par.delay.mean());
+    EXPECT_EQ(seq.events, par.events);
+    EXPECT_GT(par.events, 0u);
+
+    ASSERT_EQ(ss.solvers.size(), sc.replications);
+    ASSERT_EQ(ps.solvers.size(), sc.replications);
+    for (std::size_t i = 0; i < ss.solvers.size(); ++i) {
+        EXPECT_EQ(ss.solvers[i].solver, ps.solvers[i].solver);
+        EXPECT_EQ(ss.solvers[i].label, ps.solvers[i].label);
+        EXPECT_EQ(ss.solvers[i].run_id, ps.solvers[i].run_id);
+        EXPECT_EQ(ss.solvers[i].iterations, ps.solvers[i].iterations);
+        EXPECT_EQ(ss.solvers[i].truncation, ps.solvers[i].truncation);
+        EXPECT_EQ(ss.solvers[i].converged, ps.solvers[i].converged);
+    }
+    // run_ids come back sorted 0..R-1 and each record carries its
+    // replication's event count as "iterations".
+    std::uint64_t events = 0;
+    for (std::size_t i = 0; i < ps.solvers.size(); ++i) {
+        EXPECT_EQ(ps.solvers[i].run_id, i);
+        events += ps.solvers[i].iterations;
+    }
+    EXPECT_EQ(events, par.events);
+
+    // Deterministic counters agree too (same names, same totals).
+    ASSERT_EQ(ss.counters.size(), ps.counters.size());
+    for (std::size_t i = 0; i < ss.counters.size(); ++i) {
+        EXPECT_EQ(ss.counters[i].first, ps.counters[i].first);
+        EXPECT_EQ(ss.counters[i].second, ps.counters[i].second);
+    }
+}
+
+TEST(Runner, DisabledMetricsLeaveResultsUntouched) {
+    // The wall_time_s field stays at its default and no telemetry is
+    // recorded when the switch is off (the default for every test binary).
+    ASSERT_FALSE(hap::obs::enabled());
+    const Scenario sc = small_scenario();
+    const auto runs = ExperimentRunner(2).replicate(sc);
+    for (const auto& r : runs) EXPECT_EQ(r.wall_time_s, 0.0);
+    EXPECT_TRUE(hap::obs::registry().snapshot().solvers.empty());
 }
 
 TEST(Runner, RunAllMatchesIndividualRuns) {

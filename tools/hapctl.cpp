@@ -15,9 +15,13 @@
 //       required bandwidth, admissible workload, decision table.
 //   hapctl sweep    [model flags] [--service-grid SPEC] [--lambda-grid SPEC]
 //                   [--reps N] [--horizon T] [--warmup T] [--seed S]
-//                   [--threads N] [--buffer K] [--json FILE]
+//                   [--threads N] [--buffer K] [--json FILE] [--metrics]
 //       replicated simulation over a parameter grid, fanned across the
-//       experiment thread pool; SPEC is "a,b,c" or "lo:hi:step".
+//       experiment thread pool; SPEC is "a,b,c" or "lo:hi:step". --metrics
+//       appends the "hap.obs.metrics/v1" telemetry block to the JSON.
+//   hapctl metrics-dump [model flags] [--horizon T] [--reps N] [--solve0]
+//       run a representative slice of the solver/simulation stack with the
+//       observability registry enabled and print the text report.
 //
 // Model flags (defaults = the paper's Section-4 baseline):
 //   --lambda --mu --lambda1 --mu1 --l --lambda2 --m --service
@@ -29,6 +33,7 @@
 #include "cli_util.hpp"
 #include "core/hap.hpp"
 #include "experiment/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "queueing/mm1.hpp"
 #include "trace/arrival_log.hpp"
 #include "traffic/fitting.hpp"
@@ -175,7 +180,12 @@ int cmd_fit(const cli::Flags& f) {
 int cmd_sweep(const cli::Flags& f) {
     f.reject_unknown(with(kModelFlags,
                           {"service-grid", "lambda-grid", "reps", "horizon", "warmup",
-                           "seed", "threads", "buffer", "json"}));
+                           "seed", "threads", "buffer", "json", "metrics"}));
+    // --metrics (or HAP_BENCH_METRICS) turns on the observability registry:
+    // per-replication telemetry plus a labeled analytic solve per grid point,
+    // all appended to the JSON document as the "metrics" block.
+    const bool metrics = f.has("metrics") || obs::enabled();
+    if (metrics) obs::set_enabled(true);
     // Grid axes: "a,b,c" or "lo:hi:step" (experiment::parse_grid). An absent
     // flag falls back to a single default point; a present-but-bad spec
     // (including an empty one) is rejected with a clear error.
@@ -248,6 +258,14 @@ int cmd_sweep(const cli::Flags& f) {
         std::printf("%10.3f %10.3f %12.4f %8.3f %22s %22s %8.3f\n", service, scale,
                     lbar, lbar / service, delay_ci, number_ci, m.utilization.mean);
 
+        if (metrics) {
+            // Labeled analytic cross-check: the gm1/solution2 records carry
+            // this sweep point's sigma iterations and converged flag.
+            const obs::ScopedLabel scope(grid[i].name);
+            const core::Solution2 s2(grid[i].params);
+            (void)s2.solve_queue(service);
+        }
+
         experiment::Json point = experiment::JsonWriter::point(grid[i].name);
         experiment::Json params = experiment::Json::object();
         params.set("service", experiment::Json::number(service));
@@ -259,6 +277,11 @@ int cmd_sweep(const cli::Flags& f) {
         json.add_point(std::move(point));
     }
 
+    if (metrics) {
+        json.metrics_block(
+            experiment::obs_metrics_json(obs::registry().snapshot()));
+    }
+
     const std::string out = f.text("json", "");
     if (!out.empty()) {
         if (json.write_file(out))
@@ -266,6 +289,58 @@ int cmd_sweep(const cli::Flags& f) {
         else
             throw std::runtime_error("cannot write " + out);
     }
+    if (metrics && out.empty()) std::fputs(obs::registry().report().c_str(), stdout);
+    return 0;
+}
+
+// hapctl metrics-dump: run a representative slice of the stack (Solutions 1/2,
+// a small matrix-geometric solve, optionally Solution 0, and a short
+// replicated simulation) with the observability registry on, then print the
+// text report. Fast by default; --solve0 adds the full lattice sweep.
+int cmd_metrics_dump(const cli::Flags& f) {
+    f.reject_unknown(with(kModelFlags, {"horizon", "seed", "reps", "threads",
+                                        "solve0", "zmax", "sweeps"}));
+    obs::set_enabled(true);
+    const core::HapParams p = model_from_flags(f);
+    const double mu = f.number("service", 20.0);
+    {
+        const obs::ScopedLabel scope("analytic");
+        const core::Solution1 s1(p);
+        (void)s1.solve_queue(mu);
+        const core::Solution2 s2(p);
+        (void)s2.solve_queue(mu);
+    }
+    {
+        // Small phase space: QBD cost is cubic, and the point here is the
+        // telemetry shape, not a converged delay figure.
+        const obs::ScopedLabel scope("qbd-small");
+        core::ChainBounds b;
+        b.max_users = 4;
+        b.max_apps_total = 12;
+        (void)core::solve_solution3(p, b);
+    }
+    if (f.has("solve0")) {
+        const obs::ScopedLabel scope("solve0");
+        core::Solution0Options o;
+        o.max_messages = f.count("zmax", 0);
+        o.max_sweeps = f.count("sweeps", 8000);
+        o.tol = 1e-8;
+        o.check_every = 100;
+        (void)solve_solution0(p, o);
+    }
+    {
+        experiment::Scenario sc;
+        sc.name = "metrics-dump.sim";
+        sc.params = p;
+        sc.horizon = f.number("horizon", 2e5);
+        sc.warmup = sc.horizon * 0.02;
+        sc.replications = f.count("reps", 4);
+        if (f.has("seed"))
+            sc.master_seed = static_cast<std::uint64_t>(f.number("seed", 1.0));
+        const experiment::ExperimentRunner runner(f.count("threads", 0));
+        (void)runner.run(sc);
+    }
+    std::fputs(obs::registry().report().c_str(), stdout);
     return 0;
 }
 
@@ -303,8 +378,10 @@ void usage() {
         "  hapctl fit       --trace FILE [--duty D --burst R]\n"
         "  hapctl admission [model flags] --budget T\n"
         "  hapctl sweep     [model flags] [--service-grid SPEC --lambda-grid SPEC]\n"
-        "                   [--reps N --threads N --horizon T --json FILE]\n"
-        "                   (SPEC: \"a,b,c\" or \"lo:hi:step\")\n\n"
+        "                   [--reps N --threads N --horizon T --json FILE --metrics]\n"
+        "                   (SPEC: \"a,b,c\" or \"lo:hi:step\")\n"
+        "  hapctl metrics-dump [model flags] [--horizon T --reps N --solve0]\n"
+        "                   solver-telemetry text report (see DESIGN.md 4e)\n\n"
         "model flags (defaults = paper baseline):\n"
         "  --lambda 0.0055 --mu 0.001 --lambda1 0.01 --mu1 0.01 --l 5\n"
         "  --lambda2 0.1 --m 3 --service 20 [--max-users N --max-apps N]\n");
@@ -326,6 +403,7 @@ int main(int argc, char** argv) {
         if (cmd == "fit") return cmd_fit(flags);
         if (cmd == "admission") return cmd_admission(flags);
         if (cmd == "sweep") return cmd_sweep(flags);
+        if (cmd == "metrics-dump") return cmd_metrics_dump(flags);
         usage();
         return 2;
     } catch (const std::exception& e) {
