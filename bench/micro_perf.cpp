@@ -1,7 +1,9 @@
 // Microbenchmarks (google-benchmark) for the hot paths: the DES calendar,
-// the CTMC HAP simulator, the steady-state solver, and Solution 2.
+// the CTMC HAP simulator, the steady-state solvers (cold, warm-started, and
+// block-tridiagonal direct), and Solution 2.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/hap.hpp"
 #include "markov/ctmc.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +53,39 @@ void BM_SteadyStateSolve(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SteadyStateSolve);
+
+// The continuation engine's stationary regime: solve seeded with the
+// converged distribution of a 2%-perturbed neighbor chain, the seed a sweep
+// hands each point. HAP_BENCH_WARM=0 drops the guess, measuring the cold
+// baseline in the identical harness.
+void BM_SteadyStateSolveWarm(benchmark::State& state) {
+    const HapParams p = HapParams::paper_baseline(20.0);
+    const ChainBounds b = ChainBounds::defaults_for(p);
+    HapParams q = p;
+    q.user_arrival_rate *= 1.02;
+    const auto seed = LumpedChain(q, b).solve();
+    const LumpedChain chain(p, b);
+    hap::markov::SolveOptions opts;
+    if (hap::bench::warm_starts()) opts.initial_guess = &seed.pi;
+    for (auto _ : state) {
+        const auto res = chain.solve(opts);
+        benchmark::DoNotOptimize(res.pi.data());
+    }
+}
+BENCHMARK(BM_SteadyStateSolveWarm);
+
+// Exact block-tridiagonal elimination on the lumped (users, apps) chain —
+// the non-iterative path solution 0 uses for its modulating marginal.
+void BM_LumpedDirectSolve(benchmark::State& state) {
+    const HapParams p = HapParams::paper_baseline(20.0);
+    const ChainBounds b = ChainBounds::defaults_for(p);
+    const LumpedChain chain(p, b);
+    for (auto _ : state) {
+        const auto pi = chain.solve_direct();
+        benchmark::DoNotOptimize(pi.data());
+    }
+}
+BENCHMARK(BM_LumpedDirectSolve);
 
 void BM_Solution2FullAnalysis(benchmark::State& state) {
     const HapParams p = HapParams::paper_baseline(20.0);

@@ -1,7 +1,11 @@
 #include "core/hap_chain.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hap::core {
 
@@ -130,6 +134,167 @@ traffic::Mmpp LumpedChain::to_mmpp() const {
 
 markov::SolveResult LumpedChain::solve(const markov::SolveOptions& opts) const {
     return markov::solve_steady_state(ctmc_, opts);
+}
+
+std::vector<double> LumpedChain::solve_direct() const {
+    obs::ScopedTimer timer("chain.direct_solve_s");
+    const std::size_t ny = y_hi_ + 1;
+    const std::size_t nlev = x_hi_ - x_lo_ + 1;
+    using numerics::Matrix;
+
+    // Bin the transitions into block-tridiagonal form by user level:
+    // a0 = up (x -> x+1), a1 = local (same x), a2 = down (x -> x-1).
+    std::vector<Matrix> a0(nlev), a1(nlev), a2(nlev);
+    for (std::size_t lev = 0; lev < nlev; ++lev) {
+        a1[lev] = Matrix(ny, ny, 0.0);
+        if (lev + 1 < nlev) a0[lev] = Matrix(ny, ny, 0.0);
+        if (lev > 0) a2[lev] = Matrix(ny, ny, 0.0);
+    }
+    for (const markov::Transition& t : ctmc_.edges()) {
+        const std::size_t lf = t.from / ny;
+        const std::size_t lt = t.to / ny;
+        const std::size_t yf = t.from % ny;
+        const std::size_t yt = t.to % ny;
+        if (lt == lf) {
+            a1[lf](yf, yt) += t.rate;
+        } else if (lt == lf + 1) {
+            a0[lf](yf, yt) += t.rate;
+        } else if (lf == lt + 1) {
+            a2[lf](yf, yt) += t.rate;
+        } else {
+            return {};  // |dx| > 1: not block tridiagonal
+        }
+    }
+    for (std::size_t lev = 0; lev < nlev; ++lev)
+        for (std::size_t y = 0; y < ny; ++y)
+            a1[lev](y, y) -= ctmc_.exit_rate(lev * ny + y);
+
+    // Backward censoring: S_L = A1_L, then S_l = A1_l + R_l A2_{l+1} with
+    // R_l = A0_l (-S_{l+1})^{-1}. The R matrices drive the forward pass
+    // pi_{l+1} = pi_l R_l; level 0 satisfies pi_0 S_0 = 0.
+    std::vector<Matrix> rmat(nlev);
+    Matrix s = a1[nlev - 1];
+    try {
+        for (std::size_t lev = nlev - 1; lev-- > 0;) {
+            rmat[lev] = a0[lev] * numerics::inverse(s * -1.0);
+            s = a1[lev] + rmat[lev] * a2[lev + 1];
+        }
+        // Left null vector of S_0 with unit mass: transpose and replace one
+        // balance equation by the normalization row.
+        Matrix m = s.transposed();
+        for (std::size_t j = 0; j < ny; ++j) m(ny - 1, j) = 1.0;
+        std::vector<double> rhs(ny, 0.0);
+        rhs[ny - 1] = 1.0;
+        std::vector<double> level = numerics::solve(m, rhs);
+
+        std::vector<double> pi(ctmc_.num_states(), 0.0);
+        std::copy(level.begin(), level.end(), pi.begin());
+        for (std::size_t lev = 1; lev < nlev; ++lev) {
+            level = rmat[lev - 1].apply_left(level);
+            std::copy(level.begin(), level.end(), pi.begin() + lev * ny);
+        }
+
+        // Roundoff guard: clamp negligible negatives, reject anything worse,
+        // then validate against the balance equations before trusting it.
+        double total = 0.0;
+        double peak = 0.0;
+        for (double v : pi) peak = std::max(peak, std::abs(v));
+        if (!(peak > 0.0) || !std::isfinite(peak)) return {};
+        for (double& v : pi) {
+            if (v < 0.0) {
+                if (v < -1e-12 * peak) return {};
+                v = 0.0;
+            }
+            total += v;
+        }
+        if (!std::isfinite(total) || total <= 0.0) return {};
+        for (double& v : pi) v /= total;
+
+        double max_flow = 0.0;
+        double max_defect = 0.0;
+        for (std::size_t st = 0; st < pi.size(); ++st) {
+            const markov::Ctmc::InEdges in = ctmc_.in_edges(st);
+            double inflow = 0.0;
+            for (std::size_t e = 0; e < in.count; ++e) inflow += pi[in.from[e]] * in.rate[e];
+            const double outflow = pi[st] * ctmc_.exit_rate(st);
+            max_flow = std::max(max_flow, outflow);
+            max_defect = std::max(max_defect, std::abs(inflow - outflow));
+        }
+        const double residual = max_flow > 0.0 ? max_defect / max_flow : max_defect;
+        if (!(residual < 1e-8)) return {};
+
+        if (obs::enabled()) {
+            obs::registry().add_counter("chain.direct_solves");
+            obs::SolverTelemetry rec;
+            rec.solver = "lumped.direct";
+            rec.iterations = 1;
+            rec.residual = residual;
+            rec.truncation = static_cast<double>(y_hi_);
+            rec.wall_time_s = timer.stop();
+            rec.converged = true;
+            obs::registry().record_solver(std::move(rec));
+        }
+        return pi;
+    } catch (const std::domain_error&) {
+        return {};  // singular block: fall back to the iterative solver
+    }
+}
+
+AdaptiveLumpedResult solve_lumped_adaptive(const HapParams& params, double trunc_tol,
+                                           const markov::SolveOptions& base) {
+    if (!(trunc_tol > 0.0))
+        throw std::invalid_argument("solve_lumped_adaptive: trunc_tol must be positive");
+    const ChainBounds cap = ChainBounds::defaults_for(params);
+    // Effective y ceiling: the mass-based default, further clamped by any
+    // admission bound the params impose (lumped_shape applies the same
+    // clamp, so growing past it would loop forever on an unchanged chain).
+    std::size_t y_cap = cap.max_apps_total;
+    if (params.max_apps > 0) y_cap = std::min(y_cap, params.max_apps);
+
+    AdaptiveLumpedResult out;
+    out.bounds = cap;
+    out.bounds.max_apps_total = std::min(y_cap, std::size_t{8});
+
+    std::vector<double> guess;
+    while (true) {
+        const LumpedChain chain(params, out.bounds);
+        markov::SolveOptions opts = base;
+        // Zero-padded previous solution: the bulk of the mass sits in the
+        // low-y states shared by both boxes, so the grown solve starts next
+        // to its fixed point.
+        if (!guess.empty()) {
+            guess.resize(chain.num_states(), 0.0);
+            opts.initial_guess = &guess;
+        }
+        out.solve = chain.solve(opts);
+
+        // x == x_hi counts toward the shell only when x is genuinely
+        // truncated (dynamic users): for permanent users x_lo == x_hi and
+        // every state would otherwise be "boundary".
+        const bool x_truncated = chain.x_hi() > chain.x_lo();
+        double shell = 0.0;
+        for (std::size_t s = 0; s < chain.num_states(); ++s) {
+            if ((x_truncated && chain.users_of(s) == chain.x_hi()) ||
+                chain.apps_of(s) == chain.y_hi())
+                shell += out.solve.pi[s];
+        }
+        out.shell_mass = shell;
+        const bool at_cap = chain.y_hi() >= y_cap;
+        if (!out.solve.converged || shell < trunc_tol || at_cap) return out;
+
+        // Grow y geometrically. The (x - x_lo) * (y_hi + 1) + y indexing
+        // means a grown box is a row-wise zero-pad of the old vector.
+        const std::size_t old_ny = chain.y_hi() + 1;
+        const std::size_t new_y = std::min(y_cap, chain.y_hi() * 2 + 1);
+        const std::size_t nx = chain.x_hi() - chain.x_lo() + 1;
+        guess.assign(nx * (new_y + 1), 0.0);
+        for (std::size_t xi = 0; xi < nx; ++xi)
+            for (std::size_t y = 0; y < old_ny; ++y)
+                guess[xi * (new_y + 1) + y] = out.solve.pi[xi * old_ny + y];
+        out.bounds.max_apps_total = new_y;
+        ++out.growth_steps;
+        if (obs::enabled()) obs::registry().add_counter("chain.box_growth_steps");
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -50,6 +50,15 @@ public:
     // Steady-state distribution of the modulating chain.
     markov::SolveResult solve(const markov::SolveOptions& opts = {}) const;
 
+    // Exact (non-iterative) steady state by block-LU censoring along the
+    // user dimension: the lumped chain is block tridiagonal in x (users
+    // arrive and depart one at a time), so eliminating levels from x_hi
+    // downward costs nx solves of ny-by-ny systems — microseconds where
+    // Gauss-Seidel takes thousands of sweeps — and is accurate to roundoff.
+    // Returns an empty vector if the chain is not block tridiagonal or the
+    // elimination degenerates numerically (callers fall back to solve()).
+    std::vector<double> solve_direct() const;
+
     std::size_t x_lo() const noexcept { return x_lo_; }
     std::size_t x_hi() const noexcept { return x_hi_; }
     std::size_t y_hi() const noexcept { return y_hi_; }
@@ -87,6 +96,22 @@ private:
     std::vector<double> arrival_rates_;
     markov::Ctmc ctmc_;
 };
+
+// Continuation solve of the lumped modulating chain: start from a small y
+// box, solve, and grow it geometrically until the boundary-shell mass
+// (states with x == x_hi or y == y_hi) drops below `trunc_tol`, warm-starting
+// each grown box from the previous solution (zero-padded). The growth is
+// capped at ChainBounds::defaults_for, so the adaptive solve never exceeds
+// the worst-case static box.
+struct AdaptiveLumpedResult {
+    markov::SolveResult solve;       // steady state on the final bounds
+    ChainBounds bounds;              // bounds actually used
+    std::size_t growth_steps = 0;
+    double shell_mass = 0.0;         // boundary-shell mass of the final solve
+};
+
+AdaptiveLumpedResult solve_lumped_adaptive(const HapParams& params, double trunc_tol,
+                                           const markov::SolveOptions& base = {});
 
 namespace detail {
 // Shared helper: dense generator from any finalized Ctmc.

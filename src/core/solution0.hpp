@@ -9,10 +9,27 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/hap_params.hpp"
 
 namespace hap::core {
+
+// Converged lattice distribution plus its box, exported with
+// `Solution0Options::keep_state` and fed back through
+// `Solution0Options::warm`: a sweep driver hands each solve the previous
+// point's state so the iteration starts next to the new fixed point instead
+// of at the product-form guess (continuation). Boxes need not match — the
+// vector is zero-padded/cropped onto the new box before use.
+struct Solution0State {
+    std::vector<double> pi;  // row-major ((x - x_lo) * ny + y) * nz + z
+    std::size_t x_lo = 0;
+    std::size_t x_hi = 0;
+    std::size_t y_hi = 0;
+    std::size_t z_hi = 0;
+
+    bool empty() const noexcept { return pi.empty(); }
+};
 
 struct Solution0Options {
     std::size_t max_users = 0;     // x bound; 0 = mass-based default
@@ -22,6 +39,24 @@ struct Solution0Options {
     std::size_t max_sweeps = 50000;
     std::size_t check_every = 25;
     bool verbose = false;          // progress lines on stderr at every check
+
+    // Continuation engine. `adaptive` starts from a small (y, z) box and
+    // grows it geometrically until the boundary-shell mass drops below
+    // `trunc_tol` (or the worst-case static bounds above are reached),
+    // warm-starting each grown box from the coarse solution. `warm` seeds
+    // the iteration from a previous sweep point's exported state;
+    // `keep_state` exports this solve's state for the next point.
+    bool adaptive = false;
+    double trunc_tol = 1e-9;
+    const Solution0State* warm = nullptr;
+    // Secant predictor: with the state from TWO sweep points back and the
+    // parameter-step ratio theta = (p2 - p1) / (p1 - p0), the seed becomes
+    // warm + theta * (warm - warm_prev) (clamped to nonnegative) — an O(step^2)
+    // prediction of the new fixed point instead of warm's O(step). Ignored
+    // without `warm`.
+    const Solution0State* warm_prev = nullptr;
+    double warm_step = 1.0;
+    bool keep_state = false;
 };
 
 struct Solution0Result {
@@ -34,9 +69,15 @@ struct Solution0Result {
     double mean_apps = 0.0;
     double truncation_mass = 0.0; // probability on the x/y/z boundary shells
     double residual = 0.0;        // last relative change of (delay, E[z]) observed
-    std::size_t states = 0;
-    std::size_t sweeps = 0;
+    std::size_t states = 0;       // final box size
+    std::size_t sweeps = 0;       // total sweeps, summed across adaptive boxes
     bool converged = false;
+    // Continuation diagnostics: whether a warm state seeded the solve, how
+    // many box growths the adaptive engine took, and (with keep_state) the
+    // converged lattice for the next sweep point.
+    bool warm_started = false;
+    std::size_t box_growths = 0;
+    Solution0State state;
 };
 
 // Requires homogeneous application types and uniform message service rate

@@ -1,0 +1,68 @@
+#include "experiment/analytic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace hap::experiment {
+
+std::vector<AnalyticPointResult> run_analytic_sweep(const std::vector<AnalyticPoint>& grid,
+                                                    const AnalyticSweepOptions& opts) {
+    if (grid.empty())
+        throw std::invalid_argument("run_analytic_sweep: empty grid");
+
+    std::vector<AnalyticPointResult> out;
+    out.reserve(grid.size());
+
+    // The continuation chain handed from point to point: the last two
+    // converged states and their sweep coordinates. keep_state is forced on
+    // while warm starts are active so every point exports its lattice for
+    // the next one; the states are dropped with the locals.
+    core::Solution0State carry;       // previous point
+    core::Solution0State carry_prev;  // two points back (secant predictor)
+    double coord1 = 0.0;
+    double coord0 = 0.0;
+    std::size_t cold_sweeps = 0;  // first point's cost = the cold baseline
+    for (const AnalyticPoint& pt : grid) {
+        core::Solution0Options o = opts.solver;
+        o.adaptive = opts.adaptive;
+        if (opts.warm_start) {
+            o.keep_state = true;
+            if (!carry.empty()) {
+                o.warm = &carry;
+                const double d1 = pt.coord - coord1;
+                const double d0 = coord1 - coord0;
+                if (!carry_prev.empty() && d0 != 0.0 && d1 != 0.0 &&
+                    std::isfinite(d1 / d0) && d1 / d0 > 0.0) {
+                    o.warm_prev = &carry_prev;
+                    o.warm_step = d1 / d0;
+                }
+            }
+        }
+        obs::ScopedLabel scope(pt.name);
+        core::Solution0Result s0 = core::solve_solution0(pt.params, o);
+        if (opts.warm_start) {
+            if (s0.warm_started) {
+                if (obs::enabled()) {
+                    obs::registry().add_counter("experiment.warm_starts");
+                    if (s0.sweeps < cold_sweeps)
+                        obs::registry().add_counter("experiment.iterations_saved",
+                                                    cold_sweeps - s0.sweeps);
+                }
+            } else {
+                cold_sweeps = s0.sweeps;
+            }
+            carry_prev = std::move(carry);
+            coord0 = coord1;
+            carry = std::move(s0.state);
+            coord1 = pt.coord;
+            s0.state = core::Solution0State{};
+        }
+        out.push_back(AnalyticPointResult{pt.name, std::move(s0)});
+    }
+    return out;
+}
+
+}  // namespace hap::experiment

@@ -1,0 +1,54 @@
+// Analytic (Solution 0) parameter sweeps with continuation: grid points are
+// solved IN GRID ORDER and each solve is seeded with the previous point's
+// converged lattice (warm start) on an adaptively grown truncation box.
+// Neighboring sweep points differ by one small parameter step, so their
+// stationary vectors are nearly identical — the remapped previous state
+// lands the iteration next to the new fixed point and the observable check
+// converges in a handful of sweeps instead of a cold solve's hundreds.
+//
+// The chain is sequential by design (continuation is a chain, not a
+// fan-out); the simulation sweeps in ExperimentRunner::run_all stay on the
+// thread pool, and the two sides are independent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hap_params.hpp"
+#include "core/solution0.hpp"
+
+namespace hap::experiment {
+
+struct AnalyticPoint {
+    std::string name;  // sweep-point label, e.g. "sweep.service=17.lambda=0.8"
+    core::HapParams params;
+    // Scalar sweep coordinate (the value stepped along the grid, e.g. the
+    // lambda scale). With three consecutive distinct coordinates the sweep
+    // upgrades the warm start to a secant predictor — extrapolating the
+    // previous two states along the parameter — which lands the seed
+    // O(step^2) from the new fixed point. Leave 0 on every point to disable.
+    double coord = 0.0;
+};
+
+struct AnalyticSweepOptions {
+    bool warm_start = true;  // feed each point the previous converged state
+    bool adaptive = true;    // grow the truncation box instead of worst-case
+    // Per-point solver settings (tol, bounds, trunc_tol, ...). The warm /
+    // keep_state / adaptive fields are managed by the sweep itself.
+    core::Solution0Options solver;
+};
+
+struct AnalyticPointResult {
+    std::string name;
+    core::Solution0Result s0;
+};
+
+// Solve every grid point in order. Telemetry (when metrics are enabled):
+// each point's solve is recorded under its name via obs::ScopedLabel;
+// `experiment.warm_starts` counts points seeded from a neighbor and
+// `experiment.iterations_saved` accumulates the sweep-count reduction
+// relative to the first (cold) point of the chain.
+std::vector<AnalyticPointResult> run_analytic_sweep(const std::vector<AnalyticPoint>& grid,
+                                                    const AnalyticSweepOptions& opts = {});
+
+}  // namespace hap::experiment

@@ -2,6 +2,7 @@
 // replication runner, interval estimates, and JSON result output.
 #pragma once
 
+#include "experiment/analytic.hpp"
 #include "experiment/grid.hpp"
 #include "experiment/json.hpp"
 #include "experiment/json_writer.hpp"

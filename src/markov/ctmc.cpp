@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "core/contracts.hpp"
 #include "obs/metrics.hpp"
@@ -44,6 +46,24 @@ void Ctmc::finalize() {
         in_from_[pos] = e.from;
         in_rate_[pos] = e.rate;
     }
+    // Sort each state's in-edges by source index: Gauss-Seidel then reads
+    // pi[in.from[k]] in ascending address order, turning the inner product
+    // into mostly-sequential loads instead of insertion-order hops. Stable so
+    // duplicate (from, to) edges keep a deterministic summation order.
+    std::vector<std::pair<std::uint32_t, double>> seg;
+    for (std::size_t s = 0; s < n_; ++s) {
+        const std::size_t begin = in_offsets_[s];
+        const std::size_t end = in_offsets_[s + 1];
+        if (end - begin < 2) continue;
+        seg.clear();
+        for (std::size_t k = begin; k < end; ++k) seg.emplace_back(in_from_[k], in_rate_[k]);
+        std::stable_sort(seg.begin(), seg.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (std::size_t k = begin; k < end; ++k) {
+            in_from_[k] = seg[k - begin].first;
+            in_rate_[k] = seg[k - begin].second;
+        }
+    }
     finalized_ = true;
 }
 
@@ -56,12 +76,124 @@ Ctmc::InEdges Ctmc::in_edges(std::size_t s) const {
 
 namespace {
 
-void normalize(std::vector<double>& pi) {
+// Returns false when the iterate's total mass is non-finite or non-positive:
+// a diverged iterate must abort the solve as non-converged rather than be
+// left stale (a stale vector can pass the relative-change check and report a
+// garbage distribution as "converged").
+[[nodiscard]] bool normalize(std::vector<double>& pi) {
     double total = 0.0;
     for (double v : pi) total += v;
-    if (total <= 0.0) return;
+    if (!std::isfinite(total) || total <= 0.0) return false;
     const double inv = 1.0 / total;
     for (double& v : pi) v *= inv;
+    return true;
+}
+
+// Seed the iterate from the caller's warm-start guess when it is a usable
+// distribution, else uniform. A wrong-sized guess is a caller bug (throws);
+// a degenerate one (non-finite entries, negative mass, zero total) falls
+// back to the uniform start so continuation can never poison a solve.
+bool seed_iterate(std::vector<double>& pi, std::size_t n, const SolveOptions& opts) {
+    if (opts.initial_guess != nullptr) {
+        const std::vector<double>& guess = *opts.initial_guess;
+        if (guess.size() != n)
+            throw std::invalid_argument("solve_steady_state: initial_guess size mismatch");
+        bool usable = true;
+        for (double v : guess) {
+            if (!std::isfinite(v) || v < 0.0) {
+                usable = false;
+                break;
+            }
+        }
+        if (usable) {
+            pi = guess;
+            if (normalize(pi)) {
+                if (obs::enabled()) obs::registry().add_counter("ctmc.warm_starts");
+                return true;
+            }
+        }
+        if (obs::enabled()) obs::registry().add_counter("ctmc.warm_rejected");
+    }
+    pi.assign(n, 1.0 / static_cast<double>(n));
+    return false;
+}
+
+// The degenerate-mass exit shared by both solvers: mark non-converged,
+// surface an infinite residual, and leave a telemetry trail.
+void abort_degenerate(const char* solver, SolveResult& res, std::size_t iter,
+                      std::size_t n, obs::ScopedTimer& timer);
+
+// The contraction ratio of two consecutive difference vectors,
+// r = <d_cur, d_prev> / <d_prev, d_prev> (Lyusternik's estimate). Returns a
+// quiet NaN when the denominator degenerates.
+double contraction_ratio(const std::vector<double>& a, const std::vector<double>& b,
+                         const std::vector<double>& c) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d1 = b[i] - a[i];
+        const double d2 = c[i] - b[i];
+        num += d2 * d1;
+        den += d1 * d1;
+    }
+    return den > 0.0 ? num / den : std::numeric_limits<double>::quiet_NaN();
+}
+
+// Aitken-style vector extrapolation from four consecutive checked iterates
+// (h0, h1, h2, x), written over x when accepted. A single contraction ratio
+// r = <d2, d1> / <d1, d1> is estimated from consecutive difference vectors
+// (Lyusternik's method); when the error is dominated by one geometric mode —
+// the nearly-decomposable HAP regime — jumping x + d * r / (1 - r) lands
+// near the fixed point. The jump's gain r / (1 - r) grows without bound as
+// r -> 1, so a noisy estimate overshoots catastrophically: the extrapolation
+// therefore requires the ratio estimated over (h0, h1, h2) and the one over
+// (h1, h2, x) to AGREE to within a tenth of the remaining contraction —
+// evidence the iteration actually is in its asymptotic single-mode regime,
+// which is the only regime where the formula is valid. Componentwise Aitken
+// is deliberately avoided: with several slow modes its per-entry
+// denominators misfire and destabilize the Gauss-Seidel sweep. Rejected —
+// leaving x untouched — when either ratio is not a clean contraction
+// (outside (0, 0.995)), the two disagree, the step norm has shrunk to the
+// rounding floor (the gain would only amplify noise, stalling the residual
+// just above tol forever), any extrapolated entry is non-finite or
+// meaningfully negative, or the total mass degenerates; tiny negative
+// undershoots are clamped to zero.
+bool aitken_extrapolate(const std::vector<double>& h0, const std::vector<double>& h1,
+                        const std::vector<double>& h2, std::vector<double>& x,
+                        std::vector<double>& scratch) {
+    const std::size_t n = x.size();
+    double step2 = 0.0;
+    double xnorm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = x[i] - h2[i];
+        step2 += d * d;
+        xnorm2 += x[i] * x[i];
+    }
+    if (step2 <= 1e-24 * xnorm2) return false;
+    const double r_prev = contraction_ratio(h0, h1, h2);
+    const double r = contraction_ratio(h1, h2, x);
+    if (!std::isfinite(r_prev) || r_prev <= 0.0 || r_prev >= 0.995) return false;
+    if (!std::isfinite(r) || r <= 0.0 || r >= 0.995) return false;
+    if (std::abs(r - r_prev) > 0.1 * (1.0 - r)) return false;
+    const double gain = r / (1.0 - r);
+    scratch.resize(n);
+    double positive = 0.0;
+    double negative = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = x[i] + (x[i] - h2[i]) * gain;
+        if (!std::isfinite(v)) return false;
+        if (v >= 0.0)
+            positive += v;
+        else
+            negative -= v;
+        scratch[i] = v;
+    }
+    // "Leaves the simplex": reject when the negative overshoot is more than a
+    // rounding-level fraction of the mass, or the mass itself degenerated.
+    if (!(positive > 0.0) || negative > 1e-10 * positive) return false;
+    for (double& v : scratch) v = std::max(v, 0.0);
+    x.swap(scratch);
+    return normalize(x);
 }
 
 // Converged steady-state output must be a probability vector; a solver that
@@ -83,6 +215,15 @@ void record_solve(const char* solver, const SolveResult& res, std::size_t n,
     obs::registry().record_solver(std::move(t));
 }
 
+void abort_degenerate(const char* solver, SolveResult& res, std::size_t iter,
+                      std::size_t n, obs::ScopedTimer& timer) {
+    res.iterations = iter;
+    res.residual = std::numeric_limits<double>::infinity();
+    res.converged = false;
+    if (obs::enabled()) obs::registry().add_counter("ctmc.degenerate_mass");
+    record_solve(solver, res, n, timer);
+}
+
 double max_relative_change(const std::vector<double>& a, const std::vector<double>& b) {
     double worst = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -101,12 +242,23 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
     obs::ScopedTimer timer("ctmc.gs_s");
     const std::size_t n = chain.num_states();
     SolveResult res;
-    res.pi.assign(n, 1.0 / static_cast<double>(n));
-    std::vector<double> prev(n);
+    res.warm_started = seed_iterate(res.pi, n, opts);
+    // Aitken history (three previous checked iterates) plus a scratch vector;
+    // allocated lazily so the plain path never copies the full iterate — the
+    // residual is folded into the check sweep itself.
+    std::vector<double> h0, h1, h2, scratch;
+    std::size_t hist = 0;
+    bool accel_on = opts.accelerate;
+    double prev_check = std::numeric_limits<double>::infinity();
+    std::size_t worse_checks = 0;
+    double best_residual = std::numeric_limits<double>::infinity();
+    std::size_t checks_since_best = 0;
 
     for (std::size_t iter = 1; iter <= opts.max_iter; ++iter) {
-        const bool check = (iter % opts.check_every) == 0;
-        if (check) prev = res.pi;
+        // The last budgeted iteration is a forced check so the reported
+        // residual is always fresh, never stale from a skipped window.
+        const bool check = (iter % opts.check_every) == 0 || iter == opts.max_iter;
+        double worst = 0.0;
         for (std::size_t s = 0; s < n; ++s) {
             const double out = chain.exit_rate(s);
             if (out <= 0.0) continue;  // absorbing (shouldn't occur for HAP lattices)
@@ -114,17 +266,69 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
             double inflow = 0.0;
             for (std::size_t k = 0; k < in.count; ++k)
                 inflow += res.pi[in.from[k]] * in.rate[k];
-            res.pi[s] = inflow / out;
+            const double next = inflow / out;
+            if (check) {
+                // States with negligible mass are compared absolutely, not
+                // relatively, so the stopping rule is not hostage to 1e-100
+                // states (same rule as max_relative_change).
+                const double scale = std::max(res.pi[s], 1e-14);
+                worst = std::max(worst, std::abs(next - res.pi[s]) / scale);
+            }
+            res.pi[s] = next;
         }
-        normalize(res.pi);
+        if (!normalize(res.pi)) {
+            abort_degenerate("ctmc.gs", res, iter, n, timer);
+            return res;
+        }
         if (check) {
-            res.residual = max_relative_change(res.pi, prev);
+            res.residual = worst;
             res.iterations = iter;
             if (res.residual < opts.tol) {
                 res.converged = true;
                 check_distribution(res.pi);
                 record_solve("ctmc.gs", res, n, timer);
                 return res;
+            }
+            // Fuses: extrapolation must keep the checked residual moving
+            // down. Two consecutive non-improving checks after accepted
+            // extrapolations mean the slow modes alias the scalar ratio
+            // estimate (nearly decomposable spectra do this); and a long
+            // stretch with no new best residual catches the subtler limit
+            // cycle where clustered slow modes trade the error back and
+            // forth — residual oscillating, improving often enough to dodge
+            // the first fuse, converging never. Either way acceleration is
+            // disabled and plain iteration finishes, so the accelerated
+            // path can stall but never diverge.
+            if (accel_on && res.accelerations > 0) {
+                if (res.residual >= prev_check) {
+                    if (++worse_checks >= 2) {
+                        accel_on = false;
+                        if (obs::enabled()) obs::registry().add_counter("ctmc.accel_fused");
+                    }
+                } else {
+                    worse_checks = 0;
+                }
+                if (accel_on && ++checks_since_best >= 20) {
+                    accel_on = false;
+                    if (obs::enabled()) obs::registry().add_counter("ctmc.accel_fused");
+                }
+            }
+            if (res.residual < 0.99 * best_residual) {
+                best_residual = res.residual;
+                checks_since_best = 0;
+            }
+            prev_check = res.residual;
+            if (accel_on && iter < opts.max_iter) {
+                if (hist >= 3 && aitken_extrapolate(h0, h1, h2, res.pi, scratch)) {
+                    ++res.accelerations;
+                    hist = 0;  // extrapolated point starts a fresh sequence
+                    if (obs::enabled()) obs::registry().add_counter("ctmc.accel_steps");
+                } else {
+                    h0.swap(h1);
+                    h1.swap(h2);
+                    h2 = res.pi;
+                    if (hist < 3) ++hist;
+                }
             }
         }
     }
@@ -143,28 +347,70 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
     if (lambda <= 0.0) throw std::invalid_argument("solve_steady_state_power: empty chain");
 
     SolveResult res;
-    res.pi.assign(n, 1.0 / static_cast<double>(n));
+    res.warm_started = seed_iterate(res.pi, n, opts);
     std::vector<double> next(n);
-    std::vector<double> prev(n);
+    std::vector<double> h0, h1, h2, scratch;
+    std::size_t hist = 0;
+    bool accel_on = opts.accelerate;
+    double prev_check = std::numeric_limits<double>::infinity();
+    std::size_t worse_checks = 0;
+    double best_residual = std::numeric_limits<double>::infinity();
+    std::size_t checks_since_best = 0;
 
     for (std::size_t iter = 1; iter <= opts.max_iter; ++iter) {
-        const bool check = (iter % opts.check_every) == 0;
-        if (check) prev = res.pi;
+        const bool check = (iter % opts.check_every) == 0 || iter == opts.max_iter;
         // next = pi * (I + Q / lambda)
         for (std::size_t s = 0; s < n; ++s)
             next[s] = res.pi[s] * (1.0 - chain.exit_rate(s) / lambda);
         for (const Transition& e : chain.edges())
             next[e.to] += res.pi[e.from] * (e.rate / lambda);
         res.pi.swap(next);
-        normalize(res.pi);
+        if (!normalize(res.pi)) {
+            abort_degenerate("ctmc.power", res, iter, n, timer);
+            return res;
+        }
         if (check) {
-            res.residual = max_relative_change(res.pi, prev);
+            // After the swap, `next` still holds the previous normalized
+            // iterate, so the convergence check needs no extra copy.
+            res.residual = max_relative_change(res.pi, next);
             res.iterations = iter;
             if (res.residual < opts.tol) {
                 res.converged = true;
                 check_distribution(res.pi);
                 record_solve("ctmc.power", res, n, timer);
                 return res;
+            }
+            // Same residual fuses as the Gauss-Seidel path (see above).
+            if (accel_on && res.accelerations > 0) {
+                if (res.residual >= prev_check) {
+                    if (++worse_checks >= 2) {
+                        accel_on = false;
+                        if (obs::enabled()) obs::registry().add_counter("ctmc.accel_fused");
+                    }
+                } else {
+                    worse_checks = 0;
+                }
+                if (accel_on && ++checks_since_best >= 20) {
+                    accel_on = false;
+                    if (obs::enabled()) obs::registry().add_counter("ctmc.accel_fused");
+                }
+            }
+            if (res.residual < 0.99 * best_residual) {
+                best_residual = res.residual;
+                checks_since_best = 0;
+            }
+            prev_check = res.residual;
+            if (accel_on && iter < opts.max_iter) {
+                if (hist >= 3 && aitken_extrapolate(h0, h1, h2, res.pi, scratch)) {
+                    ++res.accelerations;
+                    hist = 0;  // extrapolated point starts a fresh sequence
+                    if (obs::enabled()) obs::registry().add_counter("ctmc.accel_steps");
+                } else {
+                    h0.swap(h1);
+                    h1.swap(h2);
+                    h2 = res.pi;
+                    if (hist < 3) ++hist;
+                }
             }
         }
     }

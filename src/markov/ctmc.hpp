@@ -54,6 +54,19 @@ struct SolveOptions {
     double tol = 1e-12;        // max relative change per sweep
     std::size_t max_iter = 200000;
     std::size_t check_every = 10;
+    // Continuation support: start the iteration from this caller-owned vector
+    // instead of the uniform distribution. Must have num_states() entries
+    // (throws std::invalid_argument otherwise); a guess containing non-finite
+    // or negative entries, or with non-positive total mass, is rejected and
+    // the solver falls back to the uniform start. The caller's vector is
+    // copied and renormalized, never mutated.
+    const std::vector<double>* initial_guess = nullptr;
+    // Aitken delta-squared extrapolation on the checked iterates. Guarded:
+    // an extrapolated vector that leaves the probability simplex (negative
+    // mass, non-finite entries) is discarded and plain iteration continues,
+    // so acceleration can only change how fast the fixed point is reached,
+    // never which fixed point.
+    bool accelerate = true;
 };
 
 struct SolveResult {
@@ -61,6 +74,11 @@ struct SolveResult {
     std::size_t iterations = 0;
     double residual = 0.0;  // last observed max relative change
     bool converged = false;
+    // Diagnostics for the continuation telemetry: whether the caller's
+    // initial guess was adopted, and how many Aitken extrapolations were
+    // accepted along the way.
+    bool warm_started = false;
+    std::size_t accelerations = 0;
 };
 
 // Gauss-Seidel on pi(s) = sum_in pi(s') rate(s'->s) / exit_rate(s), with

@@ -15,10 +15,18 @@ namespace hap::markov {
 struct QbdOptions {
     double tol = 1e-13;       // max-abs change in R per iteration
     int max_iter = 100000;
+    // Warm start: a G matrix from a neighboring sweep point (see
+    // QbdResult::g). When provided and well-shaped, the solver runs the
+    // natural functional iteration G <- B2 + B0 G^2 from this guess — a few
+    // linear steps from a near-fixed-point start — and falls back to the
+    // cold logarithmic reduction if that fails to converge. A wrong-shaped
+    // guess is ignored (cold solve).
+    const numerics::Matrix* initial_g = nullptr;
 };
 
 struct QbdResult {
     numerics::Matrix r;             // Neuts' rate matrix
+    numerics::Matrix g;             // Neuts' G matrix (feed back via initial_g)
     std::vector<double> pi0;        // boundary (level 0) distribution
     double mean_level = 0.0;        // E[number in system]
     double mean_rate = 0.0;         // stationary mean arrival rate
@@ -29,6 +37,7 @@ struct QbdResult {
     int iterations = 0;
     bool stable = false;
     bool converged = false;  // reduction hit tol (false = iteration budget spent)
+    bool warm_started = false;  // converged via functional iteration from initial_g
 };
 
 // Solve the MMPP/M/1 queue. `phase_generator` is the modulating chain's

@@ -32,6 +32,81 @@ Scenario small_scenario() {
     return sc;
 }
 
+std::vector<hap::experiment::AnalyticPoint> small_analytic_grid() {
+    std::vector<hap::experiment::AnalyticPoint> grid;
+    for (const double s : {0.8, 0.9, 1.0, 1.1, 1.2}) {
+        hap::experiment::AnalyticPoint pt;
+        pt.name = "test.analytic.scale=" + std::to_string(s);
+        pt.params = hap::core::HapParams::homogeneous(0.4, 0.2, 0.5, 0.5, 1, 2.0, 1, 10.0);
+        pt.params.user_arrival_rate *= s;
+        pt.coord = s;
+        grid.push_back(pt);
+    }
+    return grid;
+}
+
+hap::experiment::AnalyticSweepOptions small_analytic_options(bool warm) {
+    hap::experiment::AnalyticSweepOptions opts;
+    opts.warm_start = warm;
+    opts.adaptive = warm;
+    opts.solver.tol = 1e-8;
+    opts.solver.max_messages = 120;
+    return opts;
+}
+
+TEST(AnalyticSweep, WarmMatchesColdPointByPoint) {
+    // The equivalence bar for the continuation engine: warm-started adaptive
+    // sweeps reproduce the cold fixed-box observables within 1e-6 relative,
+    // at every grid point, in no more total sweeps.
+    const auto grid = small_analytic_grid();
+    const auto cold = run_analytic_sweep(grid, small_analytic_options(false));
+    const auto warm = run_analytic_sweep(grid, small_analytic_options(true));
+    ASSERT_EQ(cold.size(), grid.size());
+    ASSERT_EQ(warm.size(), grid.size());
+    std::size_t cold_sweeps = 0;
+    std::size_t warm_sweeps = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_TRUE(cold[i].s0.converged) << grid[i].name;
+        ASSERT_TRUE(warm[i].s0.converged) << grid[i].name;
+        EXPECT_EQ(warm[i].s0.warm_started, i > 0) << grid[i].name;
+        EXPECT_NEAR(warm[i].s0.mean_delay, cold[i].s0.mean_delay,
+                    1e-6 * cold[i].s0.mean_delay)
+            << grid[i].name;
+        EXPECT_NEAR(warm[i].s0.utilization, cold[i].s0.utilization,
+                    1e-6 * cold[i].s0.utilization)
+            << grid[i].name;
+        cold_sweeps += cold[i].s0.sweeps;
+        warm_sweeps += warm[i].s0.sweeps;
+    }
+    EXPECT_LE(warm_sweeps, cold_sweeps);
+}
+
+TEST(AnalyticSweep, UnaffectedByConcurrentSimulationPool) {
+    // The continuation chain is sequential by design; interleaving it with
+    // 1- and 8-thread simulation sweeps must leave it bit-identical (no
+    // hidden shared state), and the simulation merges stay bit-identical
+    // too — extending the thread-invariance guarantee below to the mixed
+    // analytic + simulation pipeline.
+    const auto grid = small_analytic_grid();
+    const auto opts = small_analytic_options(true);
+    const Scenario sc = small_scenario();
+
+    const auto a = run_analytic_sweep(grid, opts);
+    const MergedResult seq = ExperimentRunner(1).run(sc);
+    const auto b = run_analytic_sweep(grid, opts);
+    const MergedResult par = ExperimentRunner(8).run(sc);
+    const auto c = run_analytic_sweep(grid, opts);
+
+    EXPECT_EQ(seq.delay.mean(), par.delay.mean());
+    EXPECT_EQ(seq.arrivals, par.arrivals);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(a[i].s0.mean_delay, b[i].s0.mean_delay);
+        EXPECT_EQ(b[i].s0.mean_delay, c[i].s0.mean_delay);
+        EXPECT_EQ(a[i].s0.utilization, c[i].s0.utilization);
+        EXPECT_EQ(a[i].s0.sweeps, c[i].s0.sweeps);
+    }
+}
+
 TEST(Runner, MergedMeansBitIdenticalAcrossThreadCounts) {
     const Scenario sc = small_scenario();
     const MergedResult seq = ExperimentRunner(1).run(sc);

@@ -167,4 +167,61 @@ TEST(ToMmpp, MeanRateMatchesChain) {
     EXPECT_GT(mmpp.asymptotic_idc(), 1.0);  // HAP is burstier than Poisson
 }
 
+TEST(LumpedChainTest, DirectSolveMatchesIterative) {
+    // Block-tridiagonal elimination and Gauss-Seidel must agree state by
+    // state — the direct path is exact, the iterative one converged to
+    // 1e-12, so 1e-9 absolute is generous.
+    const HapParams p = small_hap();
+    const LumpedChain chain(p, ChainBounds::defaults_for(p));
+    const auto direct = chain.solve_direct();
+    ASSERT_EQ(direct.size(), chain.num_states());
+    const auto iter = chain.solve();
+    ASSERT_TRUE(iter.converged);
+    double mass = 0.0;
+    for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        EXPECT_NEAR(direct[s], iter.pi[s], 1e-9);
+        mass += direct[s];
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(LumpedChainTest, DirectSolveMatchesIterativeForPinnedUsers) {
+    // Degenerate level structure (x_lo == x_hi): a single block, no
+    // elimination sweep — the boundary case of the censoring recursion.
+    const HapParams p = HapParams::two_level(0.5, 0.5, 2.0, 50.0);
+    const LumpedChain chain(p, ChainBounds::defaults_for(p));
+    const auto direct = chain.solve_direct();
+    ASSERT_EQ(direct.size(), chain.num_states());
+    const auto iter = chain.solve();
+    ASSERT_TRUE(iter.converged);
+    for (std::size_t s = 0; s < chain.num_states(); ++s)
+        EXPECT_NEAR(direct[s], iter.pi[s], 1e-9);
+}
+
+TEST(LumpedChainTest, AdaptiveSolveMatchesStaticBounds) {
+    const HapParams p = small_hap();
+    const auto ad = hap::core::solve_lumped_adaptive(p, 1e-10);
+    ASSERT_TRUE(ad.solve.converged);
+    const ChainBounds worst = ChainBounds::defaults_for(p);
+    // Never exceeds the worst-case static box, and the final shell holds
+    // negligible mass (or the box hit the cap).
+    EXPECT_LE(ad.bounds.max_apps_total, worst.max_apps_total);
+    if (ad.bounds.max_apps_total < worst.max_apps_total) {
+        EXPECT_LT(ad.shell_mass, 1e-10);
+    }
+
+    // Same stationary moments as the static solve.
+    const LumpedChain grown(p, ad.bounds);
+    const LumpedChain full(p, worst);
+    const auto ref = full.solve();
+    ASSERT_TRUE(ref.converged);
+    double mean_y_ad = 0.0;
+    for (std::size_t s = 0; s < grown.num_states(); ++s)
+        mean_y_ad += ad.solve.pi[s] * static_cast<double>(grown.apps_of(s));
+    double mean_y_ref = 0.0;
+    for (std::size_t s = 0; s < full.num_states(); ++s)
+        mean_y_ref += ref.pi[s] * static_cast<double>(full.apps_of(s));
+    EXPECT_NEAR(mean_y_ad, mean_y_ref, 1e-6);
+}
+
 }  // namespace

@@ -102,4 +102,81 @@ TEST(Solution0, ReportsNonConvergenceHonestly) {
     EXPECT_EQ(res.sweeps, 3u);
 }
 
+TEST(Solution0, WarmStartMatchesColdAcrossParameterStep) {
+    // Continuation step: seed the solve at lambda' = 1.05 lambda from the
+    // converged state at lambda. Same answer as the cold solve to well
+    // within the sweep-equivalence bar (1e-6), in no more sweeps.
+    const HapParams p = small_hap();
+    Solution0Options o;
+    o.max_messages = 120;
+    o.tol = 1e-8;
+    o.keep_state = true;
+    const auto base = solve_solution0(p, o);
+    ASSERT_TRUE(base.converged);
+    EXPECT_FALSE(base.warm_started);
+    ASSERT_FALSE(base.state.empty());
+
+    HapParams q = small_hap();
+    q.user_arrival_rate *= 1.05;
+    q.validate();
+    const auto cold = solve_solution0(q, o);
+    ASSERT_TRUE(cold.converged);
+
+    Solution0Options w = o;
+    w.warm = &base.state;
+    const auto warm = solve_solution0(q, w);
+    ASSERT_TRUE(warm.converged);
+    EXPECT_TRUE(warm.warm_started);
+    EXPECT_LE(warm.sweeps, cold.sweeps);
+    EXPECT_NEAR(warm.mean_delay, cold.mean_delay, 1e-6 * cold.mean_delay);
+    EXPECT_NEAR(warm.utilization, cold.utilization, 1e-6 * cold.utilization);
+}
+
+TEST(Solution0, WarmStateRemapsAcrossBoxSizes) {
+    // The exported state from a small z box seeds a solve on a larger box:
+    // the vector is zero-padded onto the new geometry, not rejected.
+    const HapParams p = small_hap();
+    Solution0Options small_o;
+    small_o.max_messages = 60;
+    small_o.tol = 1e-8;
+    small_o.keep_state = true;
+    const auto coarse = solve_solution0(p, small_o);
+    ASSERT_TRUE(coarse.converged);
+
+    Solution0Options big_o;
+    big_o.max_messages = 120;
+    big_o.tol = 1e-8;
+    const auto cold = solve_solution0(p, big_o);
+    ASSERT_TRUE(cold.converged);
+
+    Solution0Options w = big_o;
+    w.warm = &coarse.state;
+    const auto warm = solve_solution0(p, w);
+    ASSERT_TRUE(warm.converged);
+    EXPECT_TRUE(warm.warm_started);
+    EXPECT_NEAR(warm.mean_delay, cold.mean_delay, 1e-6 * cold.mean_delay);
+    EXPECT_NEAR(warm.utilization, cold.utilization, 1e-6 * cold.utilization);
+}
+
+TEST(Solution0, AdaptiveMatchesFixedBox) {
+    // The adaptive engine grows the truncation box until the boundary-shell
+    // mass is negligible; observables must match the worst-case fixed box
+    // within the equivalence bar, on no more states.
+    const HapParams p = small_hap();
+    Solution0Options fixed_o;
+    fixed_o.max_messages = 200;
+    fixed_o.tol = 1e-8;
+    const auto fixed = solve_solution0(p, fixed_o);
+    ASSERT_TRUE(fixed.converged);
+
+    Solution0Options ad_o = fixed_o;
+    ad_o.adaptive = true;
+    ad_o.trunc_tol = 1e-9;
+    const auto ad = solve_solution0(p, ad_o);
+    ASSERT_TRUE(ad.converged);
+    EXPECT_LE(ad.states, fixed.states);
+    EXPECT_NEAR(ad.mean_delay, fixed.mean_delay, 1e-6 * fixed.mean_delay);
+    EXPECT_NEAR(ad.utilization, fixed.utilization, 1e-6 * fixed.utilization);
+}
+
 }  // namespace

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two hap.bench.result/v1 documents from bench/solver_continuation
+and flag solver-iteration regressions.
+
+Iteration counts are deterministic (no timing, no threading), so the
+comparison is exact arithmetic on the recorded sweep counts: a point
+regresses when its current count exceeds the baseline by more than
+--max-regress (relative) AND --min-slack (absolute; absorbs the
+check-interval quantization, where a count can only move in steps of
+check_every/2 = 5 sweeps). Wall-clock fields are ignored.
+
+usage: bench_compare.py BASELINE CURRENT [--max-regress 0.10] [--min-slack 10]
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = unusable input.
+The CI job runs this with continue-on-error, so a red result annotates the
+run without gating the merge.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "hap.bench.result/v1"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_compare: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    return doc
+
+
+def points_by_label(doc):
+    return {p["label"]: p for p in doc.get("points", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="relative iteration-count increase that counts as a "
+                         "regression (default 0.10 = 10%%)")
+    ap.add_argument("--min-slack", type=float, default=10,
+                    help="absolute sweep-count increase always tolerated "
+                         "(default 10, one check interval)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base.get("warm_enabled") != cur.get("warm_enabled"):
+        sys.exit("bench_compare: baseline and current ran with different "
+                 "HAP_BENCH_WARM settings; the comparison is meaningless")
+
+    regressions = []
+    improvements = []
+
+    def check(label, field, old, new):
+        if old is None or new is None:
+            return
+        if new > old + max(args.min_slack, args.max_regress * old):
+            regressions.append((label, field, old, new))
+        elif new < old:
+            improvements.append((label, field, old, new))
+
+    for field in ("iterations_cold", "iterations_warm"):
+        check("<total>", field, base.get(field), cur.get(field))
+
+    base_pts = points_by_label(base)
+    cur_pts = points_by_label(cur)
+    shared = sorted(base_pts.keys() & cur_pts.keys())
+    for label in shared:
+        for field in ("cold_sweeps", "warm_sweeps"):
+            check(label, field, base_pts[label].get(field),
+                  cur_pts[label].get(field))
+    for label in sorted(base_pts.keys() - cur_pts.keys()):
+        print(f"note: point {label} present only in baseline (grid changed?)")
+    for label in sorted(cur_pts.keys() - base_pts.keys()):
+        print(f"note: point {label} present only in current (grid changed?)")
+
+    ratio_old = base.get("iteration_ratio")
+    ratio_new = cur.get("iteration_ratio")
+    if ratio_old is not None and ratio_new is not None:
+        print(f"iteration ratio: baseline {ratio_old:.2f}x -> "
+              f"current {ratio_new:.2f}x")
+
+    if improvements:
+        print(f"\n{len(improvements)} improvement(s):")
+        for label, field, old, new in improvements:
+            print(f"  {label:24s} {field:16s} {old:8.0f} -> {new:8.0f}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) "
+              f"(> {args.max_regress:.0%} and > {args.min_slack:g} sweeps):")
+        for label, field, old, new in regressions:
+            pct = 100.0 * (new - old) / old if old else float("inf")
+            print(f"  {label:24s} {field:16s} {old:8.0f} -> {new:8.0f} "
+                  f"(+{pct:.1f}%)")
+        return 1
+
+    print(f"\nno regressions across {len(shared)} shared points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

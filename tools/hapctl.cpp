@@ -16,9 +16,13 @@
 //   hapctl sweep    [model flags] [--service-grid SPEC] [--lambda-grid SPEC]
 //                   [--reps N] [--horizon T] [--warmup T] [--seed S]
 //                   [--threads N] [--buffer K] [--json FILE] [--metrics]
+//                   [--analytic] [--warm-start 0|1] [--trunc-tol E] [--tol E]
 //       replicated simulation over a parameter grid, fanned across the
 //       experiment thread pool; SPEC is "a,b,c" or "lo:hi:step". --metrics
 //       appends the "hap.obs.metrics/v1" telemetry block to the JSON.
+//       --analytic solves the grid with Solution 0 instead, in lambda order
+//       as a warm-started continuation chain on adaptively grown boxes
+//       (--warm-start, default 1, turns the engine off for A/B comparison).
 //   hapctl metrics-dump [model flags] [--horizon T] [--reps N] [--solve0]
 //       run a representative slice of the solver/simulation stack with the
 //       observability registry enabled and print the text report.
@@ -177,15 +181,120 @@ int cmd_fit(const cli::Flags& f) {
     return 0;
 }
 
+// hapctl sweep --analytic: Solution 0 over the same grid, solved as a
+// continuation chain (run_analytic_sweep) — points in lambda order, each
+// seeded from its predecessors, on adaptively grown truncation boxes. The
+// chain restarts at every service value (a service jump is not a small
+// parameter step). --warm-start 0 solves every point cold on the worst-case
+// static box, which is the comparison baseline for the continuation engine.
+int cmd_sweep_analytic(const cli::Flags& f, bool metrics) {
+    experiment::SweepArgs args;
+    args.services = f.has("service-grid")
+                        ? experiment::parse_grid(f.text("service-grid", ""))
+                        : std::vector<double>{f.number("service", 20.0)};
+    args.lambda_scales = f.has("lambda-grid")
+                             ? experiment::parse_grid(f.text("lambda-grid", ""))
+                             : std::vector<double>{1.0};
+    // No simulation in this mode; satisfy the shared validator's sim fields.
+    args.reps = 1;
+    args.horizon = 1.0;
+    args.validate();
+
+    experiment::AnalyticSweepOptions opts;
+    opts.warm_start = f.count("warm-start", 1) != 0;
+    opts.adaptive = opts.warm_start;
+    opts.solver.tol = f.number("tol", 1e-7);
+    opts.solver.trunc_tol = f.number("trunc-tol", 1e-9);
+    opts.solver.max_messages = f.count("zmax", 0);
+    opts.solver.max_sweeps = f.count("sweeps", 8000);
+    opts.solver.check_every = 10;
+
+    experiment::JsonWriter json("hapctl_sweep_analytic");
+    json.meta("warm_start", experiment::Json::boolean(opts.warm_start));
+    std::printf("analytic sweep: %zu grid points, warm starts %s\n\n",
+                args.services.size() * args.lambda_scales.size(),
+                opts.warm_start ? "on" : "off");
+    std::printf("%10s %10s %8s %12s %8s %8s %10s %6s\n", "service", "lam-scale",
+                "rho", "delay T", "util", "sweeps", "states", "warm");
+    int rc = 0;
+    for (double service : args.services) {
+        std::vector<experiment::AnalyticPoint> grid;
+        for (double scale : args.lambda_scales) {
+            experiment::AnalyticPoint pt;
+            char name[64];
+            std::snprintf(name, sizeof(name), "sweep.service=%g.lambda=%g", service,
+                          scale);
+            pt.name = name;
+            pt.params = core::HapParams::homogeneous(
+                f.number("lambda", 0.0055) * scale, f.number("mu", 0.001),
+                f.number("lambda1", 0.01), f.number("mu1", 0.01), f.count("l", 5),
+                f.number("lambda2", 0.1), f.count("m", 3), service);
+            pt.params.max_users = f.count("max-users", 0);
+            pt.params.max_apps = f.count("max-apps", 0);
+            pt.coord = scale;
+            grid.push_back(std::move(pt));
+        }
+        const auto results = experiment::run_analytic_sweep(grid, opts);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& s0 = results[i].s0;
+            const double lbar = grid[i].params.mean_message_rate();
+            if (!s0.converged) rc = 1;
+            std::printf("%10.3f %10.3f %8.3f %12.5f %8.4f %8zu %10zu %6s%s\n",
+                        service, args.lambda_scales[i], lbar / service, s0.mean_delay,
+                        s0.utilization, s0.sweeps, s0.states,
+                        s0.warm_started ? "yes" : "no",
+                        s0.converged ? "" : "  NOT converged");
+
+            experiment::Json point = experiment::JsonWriter::point(results[i].name);
+            experiment::Json params = experiment::Json::object();
+            params.set("service", experiment::Json::number(service));
+            params.set("lambda_scale", experiment::Json::number(args.lambda_scales[i]));
+            params.set("rho", experiment::Json::number(lbar / service));
+            point.set("params", std::move(params));
+            experiment::Json m = experiment::Json::object();
+            m.set("mean_delay", experiment::Json::number(s0.mean_delay));
+            m.set("utilization", experiment::Json::number(s0.utilization));
+            m.set("sigma", experiment::Json::number(s0.sigma));
+            m.set("truncation_mass", experiment::Json::number(s0.truncation_mass));
+            m.set("sweeps", experiment::Json::integer(
+                                static_cast<std::uint64_t>(s0.sweeps)));
+            m.set("states", experiment::Json::integer(
+                                static_cast<std::uint64_t>(s0.states)));
+            m.set("box_growths", experiment::Json::integer(
+                                     static_cast<std::uint64_t>(s0.box_growths)));
+            m.set("warm_started", experiment::Json::boolean(s0.warm_started));
+            m.set("converged", experiment::Json::boolean(s0.converged));
+            point.set("solution0", std::move(m));
+            json.add_point(std::move(point));
+        }
+    }
+    if (metrics)
+        json.metrics_block(experiment::obs_metrics_json(obs::registry().snapshot()));
+    const std::string out = f.text("json", "");
+    if (!out.empty()) {
+        if (json.write_file(out))
+            std::printf("\njson results written to %s\n", out.c_str());
+        else
+            throw std::runtime_error("cannot write " + out);
+    }
+    if (metrics && out.empty()) std::fputs(obs::registry().report().c_str(), stdout);
+    return rc;
+}
+
 int cmd_sweep(const cli::Flags& f) {
     f.reject_unknown(with(kModelFlags,
                           {"service-grid", "lambda-grid", "reps", "horizon", "warmup",
-                           "seed", "threads", "buffer", "json", "metrics"}));
+                           "seed", "threads", "buffer", "json", "metrics", "analytic",
+                           "warm-start", "trunc-tol", "tol", "zmax", "sweeps"}));
     // --metrics (or HAP_BENCH_METRICS) turns on the observability registry:
     // per-replication telemetry plus a labeled analytic solve per grid point,
     // all appended to the JSON document as the "metrics" block.
     const bool metrics = f.has("metrics") || obs::enabled();
     if (metrics) obs::set_enabled(true);
+    // --analytic switches the whole sweep to Solution 0 with the continuation
+    // engine; --warm-start defaults on there (simulation sweeps have no
+    // iterate to carry, so the flag is analytic-only).
+    if (f.has("analytic")) return cmd_sweep_analytic(f, metrics);
     // Grid axes: "a,b,c" or "lo:hi:step" (experiment::parse_grid). An absent
     // flag falls back to a single default point; a present-but-bad spec
     // (including an empty one) is rejected with a clear error.
@@ -379,7 +488,9 @@ void usage() {
         "  hapctl admission [model flags] --budget T\n"
         "  hapctl sweep     [model flags] [--service-grid SPEC --lambda-grid SPEC]\n"
         "                   [--reps N --threads N --horizon T --json FILE --metrics]\n"
-        "                   (SPEC: \"a,b,c\" or \"lo:hi:step\")\n"
+        "                   [--analytic [--warm-start 0|1 --trunc-tol E --tol E]]\n"
+        "                   (SPEC: \"a,b,c\" or \"lo:hi:step\"; --analytic runs\n"
+        "                   Solution 0 as a warm-started continuation chain)\n"
         "  hapctl metrics-dump [model flags] [--horizon T --reps N --solve0]\n"
         "                   solver-telemetry text report (see DESIGN.md 4e)\n\n"
         "model flags (defaults = paper baseline):\n"
