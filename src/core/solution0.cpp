@@ -1,6 +1,7 @@
 #include "core/solution0.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -234,6 +235,24 @@ struct BoxSolve {
     std::size_t sweeps = 0;
     double residual = 0.0;
     bool converged = false;
+    bool deadline_hit = false;  // the wall_ms budget backstop fired
+};
+
+// The optional wall-clock backstop of the solve budget; evaluated only at
+// observable checks, so its cost is amortized over check_every sweeps.
+struct WallDeadline {
+    bool armed = false;
+    std::chrono::steady_clock::time_point at{};
+
+    explicit WallDeadline(std::uint64_t wall_ms) {
+        if (wall_ms > 0) {
+            armed = true;
+            at = std::chrono::steady_clock::now() + std::chrono::milliseconds(wall_ms);
+        }
+    }
+    bool expired() const {
+        return armed && std::chrono::steady_clock::now() >= at;
+    }
 };
 
 // Sweep `pi` on box `g` until the observables (delay, E[z]) settle to `tol`
@@ -242,7 +261,8 @@ struct BoxSolve {
 // same box — without restarting the iteration.
 BoxSolve solve_box(const Grid& g, const Rates& r, const std::vector<double>& marginal,
                    std::vector<double>& pi, double tol, std::size_t check_every,
-                   std::size_t max_sweeps, bool verbose, LineWorkspace& ws) {
+                   std::size_t max_sweeps, bool verbose, LineWorkspace& ws,
+                   const WallDeadline& deadline) {
     BoxSolve out;
     double prev_delay = -1.0;
     double prev_z = -1.0;
@@ -272,6 +292,11 @@ BoxSolve solve_box(const Grid& g, const Rates& r, const std::vector<double>& mar
                     out.obs = o;
                     return out;
                 }
+            }
+            if (deadline.expired()) {
+                out.deadline_hit = true;
+                out.obs = o;
+                return out;
             }
             prev_delay = delay;
             prev_z = o.mean_z;
@@ -365,6 +390,26 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
     Solution0Result res;
     obs::ScopedTimer timer("solution0.solve_s");
 
+    // Budget: tighten the sweep cap, arm the wall backstop, and refuse a
+    // starting box beyond max_states before allocating it (adaptive growths
+    // are suppressed separately below).
+    const std::size_t max_sweeps_eff = opts.budget.cap_iterations(opts.max_sweeps);
+    const WallDeadline deadline(opts.budget.wall_ms);
+    if (opts.budget.states_exceeded(g.size())) {
+        res.states = g.size();
+        res.budget_exhausted = true;
+        if (obs::enabled()) {
+            obs::registry().add_counter("solution0.budget_exhausted");
+            obs::SolverTelemetry t;
+            t.solver = "solution0";
+            t.truncation = g.z_hi;
+            t.wall_time_s = timer.stop();
+            t.converged = false;
+            obs::registry().record_solver(std::move(t));
+        }
+        return res;
+    }
+
     std::vector<double> pi;
     bool have_seed = false;
     if (opts.warm != nullptr && !opts.warm->empty()) {
@@ -429,7 +474,10 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
             mb.max_users = g.x_hi;
             mb.max_apps_total = g.y_hi;
             const LumpedChain mod_chain(params, mb);
-            marginal = mod_chain.solve_direct();
+            // The fallback-chain kernel swap bypasses the exact elimination
+            // and goes straight to the iterative path below.
+            marginal = opts.force_iterative_marginal ? std::vector<double>{}
+                                                     : mod_chain.solve_direct();
             if (marginal.empty()) {
                 markov::SolveOptions mod_opts;
                 mod_opts.tol = mod_tol;
@@ -447,7 +495,7 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
         }
         project_marginal(g, marginal, pi);
 
-        std::size_t budget = opts.max_sweeps - total_sweeps;
+        std::size_t budget = max_sweeps_eff - total_sweeps;
         if (budget == 0) {
             normalize(pi);
             fin.obs = measure(g, r, pi);
@@ -468,8 +516,12 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
             // that still needs growing never pays for a tight solve.
             const double coarse_tol = std::max(opts.tol, 1e-6);
             const BoxSolve b = solve_box(g, r, marginal, pi, coarse_tol, ck,
-                                         budget, opts.verbose, ws);
+                                         budget, opts.verbose, ws, deadline);
             total_sweeps += b.sweeps;
+            if (b.deadline_hit) {
+                fin = b;
+                break;
+            }
             std::size_t ny_hi = g.y_hi;
             std::size_t nz_hi = g.z_hi;
             if (b.obs.boundary_z >= opts.trunc_tol && g.z_hi < cap.z_hi)
@@ -478,16 +530,23 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
                 ny_hi = std::min(cap.y_hi, (g.y_hi * 3) / 2 + 1);
             if (ny_hi != g.y_hi || nz_hi != g.z_hi) {
                 const Grid ng = make_grid(g.x_lo, g.x_hi, ny_hi, nz_hi);
-                std::vector<double> grown;
-                remap_state(pi, g, ng, grown);
-                pi.swap(grown);
-                g = ng;
-                have_seed = true;
-                ++res.box_growths;
-                if (obs::enabled()) obs::registry().add_counter("solution0.box_growth_steps");
-                continue;
+                if (opts.budget.states_exceeded(ng.size())) {
+                    // The needed growth would blow max_states: keep the
+                    // current box, flag the constraint, and tighten on it.
+                    res.budget_exhausted = true;
+                } else {
+                    std::vector<double> grown;
+                    remap_state(pi, g, ng, grown);
+                    pi.swap(grown);
+                    g = ng;
+                    have_seed = true;
+                    ++res.box_growths;
+                    if (obs::enabled())
+                        obs::registry().add_counter("solution0.box_growth_steps");
+                    continue;
+                }
             }
-            budget = opts.max_sweeps - total_sweeps;
+            budget = max_sweeps_eff - total_sweeps;
             if (budget == 0) {
                 fin = b;
                 break;
@@ -497,10 +556,14 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
         }
 
         fin = solve_box(g, r, marginal, pi, opts.tol, ck, budget, opts.verbose,
-                        ws);
+                        ws, deadline);
         total_sweeps += fin.sweeps;
         break;
     }
+    // A tightened sweep cap that expired, or the wall backstop firing, is
+    // budget exhaustion — distinct from the solver's own max_sweeps limit.
+    if ((!fin.converged && max_sweeps_eff < opts.max_sweeps) || fin.deadline_hit)
+        res.budget_exhausted = true;
 
     res.states = g.size();
     res.sweeps = total_sweeps;
@@ -524,6 +587,8 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
         HAP_CHECK_PROB(res.truncation_mass);
     }
     if (obs::enabled()) {
+        if (res.budget_exhausted)
+            obs::registry().add_counter("solution0.budget_exhausted");
         obs::SolverTelemetry t;
         t.solver = "solution0";
         t.iterations = res.sweeps;

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "core/hap_params.hpp"
 
 namespace hap::core {
@@ -57,6 +58,17 @@ struct Solution0Options {
     const Solution0State* warm_prev = nullptr;
     double warm_step = 1.0;
     bool keep_state = false;
+
+    // Resource budget (see core/budget.hpp). max_iterations tightens
+    // max_sweeps; max_states refuses (or stops growing) lattice boxes beyond
+    // the cap; wall_ms is checked at observable-check boundaries. A solve
+    // stopped by the budget returns budget_exhausted instead of hanging.
+    SolveBudget budget;
+    // Fallback-chain kernel swap: skip the exact block-tridiagonal
+    // solve_direct for the modulating marginal and use the iterative
+    // Gauss-Seidel path directly (the reverse of the normal
+    // direct-with-iterative-fallback order).
+    bool force_iterative_marginal = false;
 };
 
 struct Solution0Result {
@@ -77,6 +89,11 @@ struct Solution0Result {
     // converged lattice for the next sweep point.
     bool warm_started = false;
     std::size_t box_growths = 0;
+    // The SolveBudget stopped or constrained this solve: the sweep cap
+    // tightened by max_iterations expired, a needed box (or box growth)
+    // exceeded max_states, or the wall backstop fired. converged may still
+    // be true when only a growth was suppressed.
+    bool budget_exhausted = false;
     Solution0State state;
 };
 

@@ -11,11 +11,13 @@
 // thread pool, and the two sides are independent.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/hap_params.hpp"
 #include "core/solution0.hpp"
+#include "experiment/failure.hpp"
 
 namespace hap::experiment {
 
@@ -33,6 +35,12 @@ struct AnalyticPoint {
 struct AnalyticSweepOptions {
     bool warm_start = true;  // feed each point the previous converged state
     bool adaptive = true;    // grow the truncation box instead of worst-case
+    // Per-point fallback chain on a failed/non-converged primary solve:
+    //   warm -> cold restart -> worst-case box with doubled sweeps -> iterative
+    //   modulating-marginal kernel swap -> marked degraded.
+    // Each hop bumps `experiment.fallback.attempts`; a hop that converges
+    // bumps `experiment.fallback.recovered`.
+    bool fallback = true;
     // Per-point solver settings (tol, bounds, trunc_tol, ...). The warm /
     // keep_state / adaptive fields are managed by the sweep itself.
     core::Solution0Options solver;
@@ -41,6 +49,15 @@ struct AnalyticSweepOptions {
 struct AnalyticPointResult {
     std::string name;
     core::Solution0Result s0;
+    // Fault-tolerance annotations. quality is "ok" (converged, possibly via
+    // fallback hops), "degraded" (best non-converged numbers the chain could
+    // produce — use with care), or "failed" (no usable result; s0 is
+    // default-constructed and `error` holds the last exception text).
+    std::string quality = "ok";
+    std::size_t fallback_hops = 0;  // chain hops taken past the primary solve
+    std::string error;
+
+    bool failed() const noexcept { return quality == "failed"; }
 };
 
 // Solve every grid point in order. Telemetry (when metrics are enabled):
@@ -48,7 +65,17 @@ struct AnalyticPointResult {
 // `experiment.warm_starts` counts points seeded from a neighbor and
 // `experiment.iterations_saved` accumulates the sweep-count reduction
 // relative to the first (cold) point of the chain.
+//
+// A point whose primary solve throws or fails to converge walks the fallback
+// chain (see AnalyticSweepOptions::fallback) instead of aborting the sweep;
+// a point that still ends "failed" resets the continuation carry (the next
+// point cold-starts) and, when `failures` is given, appends one
+// FailureRecord (stage "analytic", job_index = grid index). Throws
+// std::runtime_error only when EVERY point failed. Injected faults
+// (noconv/budget/throw, see experiment/faultinject.hpp) apply to the primary
+// attempt only, so the chain's recovery is observable.
 std::vector<AnalyticPointResult> run_analytic_sweep(const std::vector<AnalyticPoint>& grid,
-                                                    const AnalyticSweepOptions& opts = {});
+                                                    const AnalyticSweepOptions& opts = {},
+                                                    std::vector<FailureRecord>* failures = nullptr);
 
 }  // namespace hap::experiment

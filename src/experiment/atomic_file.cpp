@@ -1,0 +1,79 @@
+#include "experiment/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "experiment/faultinject.hpp"
+
+namespace hap::experiment {
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t size) {
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems refuse O_RDONLY on directories.
+void sync_parent_dir(const std::string& path) {
+    const std::size_t slash = path.rfind('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    (void)::fsync(fd);
+    (void)::close(fd);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view text) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+
+    // Injected mid-stream kill: write only half the payload, then fail as a
+    // crashed writer would — except the debris is cleaned up, which is the
+    // contract this function adds over a bare fopen/fwrite.
+    const bool abort_midway = fault_fires(FaultKind::WriteAbort, path, 0);
+    const std::size_t to_write = abort_midway ? text.size() / 2 : text.size();
+    const bool wrote = write_all(fd, text.data(), to_write) && !abort_midway;
+
+    const bool synced = wrote && ::fsync(fd) == 0;
+    const bool closed = ::close(fd) == 0;
+    if (!(wrote && synced && closed)) {
+        (void)::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        (void)::unlink(tmp.c_str());
+        return false;
+    }
+    sync_parent_dir(path);
+    return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    const bool ok = std::ferror(f) == 0;
+    (void)std::fclose(f);
+    return ok;
+}
+
+}  // namespace hap::experiment

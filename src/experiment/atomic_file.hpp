@@ -1,0 +1,24 @@
+// Crash-safe file replacement: write to <path>.tmp, fsync, rename over the
+// target. Readers of `path` only ever see the complete old content or the
+// complete new content — a crash (or an injected write@ fault) mid-write
+// leaves the destination untouched and never strands a partial document
+// there. Used everywhere experiment results are persisted.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hap::experiment {
+
+// Atomically replace `path` with `text`. Returns false on any I/O error (or
+// an injected FaultKind::WriteAbort matching `path`), in which case the
+// destination is untouched and the temporary file has been removed. The
+// containing directory is fsync'ed after the rename so the replacement
+// itself survives a crash.
+bool atomic_write_file(const std::string& path, std::string_view text);
+
+// Read a whole file into `out`; false when the file cannot be opened or
+// read. Convenience for checkpoint/baseline loaders.
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace hap::experiment

@@ -1,0 +1,250 @@
+#include "experiment/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "experiment/atomic_file.hpp"
+
+namespace hap::experiment {
+
+namespace {
+
+constexpr const char* kSchema = "hap.ckpt/v1";
+
+// Accumulator states carry +-Inf sentinels while empty (min/max); JSON has
+// no Inf, so those fields are simply omitted and restored to the default
+// sentinel on read. Every finite double round-trips exactly through the
+// shortest-form to_chars/from_chars pair.
+void set_finite(Json& obj, const char* key, double v) {
+    if (std::isfinite(v)) obj.set(key, Json::number(v));
+}
+
+double get_finite(const Json& obj, const char* key, double fallback) {
+    const Json* v = obj.find(key);
+    return v != nullptr ? v->as_number() : fallback;
+}
+
+Json online_to_json(const stats::OnlineStats::State& s) {
+    Json j = Json::object();
+    j.set("n", Json::integer(s.n));
+    j.set("mean", Json::number(s.mean));
+    j.set("m2", Json::number(s.m2));
+    set_finite(j, "min", s.min);
+    set_finite(j, "max", s.max);
+    return j;
+}
+
+stats::OnlineStats::State online_from_json(const Json& j) {
+    stats::OnlineStats::State s;
+    s.n = j.at("n").as_uint();
+    s.mean = j.at("mean").as_number();
+    s.m2 = j.at("m2").as_number();
+    s.min = get_finite(j, "min", s.min);
+    s.max = get_finite(j, "max", s.max);
+    return s;
+}
+
+Json timeweighted_to_json(const stats::TimeWeightedStats::State& s) {
+    Json j = Json::object();
+    j.set("last_time", Json::number(s.last_time));
+    j.set("value", Json::number(s.value));
+    j.set("total_time", Json::number(s.total_time));
+    j.set("area", Json::number(s.area));
+    j.set("area2", Json::number(s.area2));
+    set_finite(j, "max", s.max);
+    return j;
+}
+
+stats::TimeWeightedStats::State timeweighted_from_json(const Json& j) {
+    stats::TimeWeightedStats::State s;
+    s.last_time = j.at("last_time").as_number();
+    s.value = j.at("value").as_number();
+    s.total_time = j.at("total_time").as_number();
+    s.area = j.at("area").as_number();
+    s.area2 = j.at("area2").as_number();
+    s.max = get_finite(j, "max", s.max);
+    return s;
+}
+
+Json busy_to_json(const stats::BusyPeriodTracker::State& s) {
+    Json j = Json::object();
+    j.set("busy", online_to_json(s.busy));
+    j.set("idle", online_to_json(s.idle));
+    j.set("heights", online_to_json(s.heights));
+    j.set("last_event_time", Json::number(s.last_event_time));
+    j.set("period_start", Json::number(s.period_start));
+    j.set("busy_time_total", Json::number(s.busy_time_total));
+    j.set("observed_total", Json::number(s.observed_total));
+    j.set("in_busy", Json::boolean(s.in_busy));
+    j.set("current_height", Json::integer(s.current_height));
+    return j;
+}
+
+stats::BusyPeriodTracker::State busy_from_json(const Json& j) {
+    stats::BusyPeriodTracker::State s;
+    s.busy = online_from_json(j.at("busy"));
+    s.idle = online_from_json(j.at("idle"));
+    s.heights = online_from_json(j.at("heights"));
+    s.last_event_time = j.at("last_event_time").as_number();
+    s.period_start = j.at("period_start").as_number();
+    s.busy_time_total = j.at("busy_time_total").as_number();
+    s.observed_total = j.at("observed_total").as_number();
+    s.in_busy = j.at("in_busy").as_bool();
+    s.current_height = j.at("current_height").as_uint();
+    return s;
+}
+
+}  // namespace
+
+Json replication_to_json(const ReplicationResult& r) {
+    Json j = Json::object();
+    j.set("run_id", Json::integer(r.run_id));
+    j.set("delay", online_to_json(r.delay.state()));
+    j.set("number", timeweighted_to_json(r.number.state()));
+    j.set("busy", busy_to_json(r.busy.state()));
+    j.set("arrivals", Json::integer(r.arrivals));
+    j.set("departures", Json::integer(r.departures));
+    j.set("losses", Json::integer(r.losses));
+    j.set("events", Json::integer(r.events));
+    j.set("utilization", Json::number(r.utilization));
+    j.set("observed_time", Json::number(r.observed_time));
+    if (!r.delays.empty()) {
+        Json d = Json::array();
+        for (double v : r.delays) d.add(Json::number(v));
+        j.set("delays", std::move(d));
+    }
+    return j;
+}
+
+ReplicationResult replication_from_json(const Json& j) {
+    ReplicationResult r;
+    r.run_id = j.at("run_id").as_uint();
+    r.delay = stats::OnlineStats::from_state(online_from_json(j.at("delay")));
+    r.number =
+        stats::TimeWeightedStats::from_state(timeweighted_from_json(j.at("number")));
+    r.busy = stats::BusyPeriodTracker::from_state(busy_from_json(j.at("busy")));
+    r.arrivals = j.at("arrivals").as_uint();
+    r.departures = j.at("departures").as_uint();
+    r.losses = j.at("losses").as_uint();
+    r.events = j.at("events").as_uint();
+    r.utilization = j.at("utilization").as_number();
+    r.observed_time = j.at("observed_time").as_number();
+    if (const Json* d = j.find("delays")) {
+        r.delays.reserve(d->items().size());
+        for (const Json& v : d->items()) r.delays.push_back(v.as_number());
+    }
+    return r;
+}
+
+const CheckpointEntry* CheckpointData::find(const std::string& scenario,
+                                            std::uint64_t rep) const {
+    const CheckpointEntry* hit = nullptr;
+    for (const CheckpointEntry& e : entries)
+        if (e.rep == rep && e.scenario == scenario) hit = &e;
+    return hit;
+}
+
+CheckpointData read_checkpoint(const std::string& path) {
+    CheckpointData data;
+    std::string text;
+    if (!read_file(path, text)) return data;  // missing file = fresh start
+
+    std::size_t pos = 0;
+    bool saw_header = false;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool torn = nl == std::string::npos;  // no terminator: interrupted write
+        const std::string line = text.substr(pos, torn ? std::string::npos : nl - pos);
+        pos = torn ? text.size() : nl + 1;
+        if (line.empty()) continue;
+
+        Json j;
+        try {
+            j = Json::parse(line);
+        } catch (const std::exception& e) {
+            if (torn) break;  // the line the crash interrupted; drop it
+            throw std::runtime_error("checkpoint " + path + ": corrupt line: " + e.what());
+        }
+        if (!saw_header) {
+            const Json* schema = j.find("schema");
+            if (schema == nullptr || !schema->is_string() || schema->as_string() != kSchema)
+                throw std::runtime_error("checkpoint " + path + ": bad header (want " +
+                                         std::string(kSchema) + ")");
+            if (const Json* cfg = j.find("config")) data.config = cfg->as_string();
+            saw_header = true;
+            continue;
+        }
+        try {
+            CheckpointEntry e;
+            e.scenario = j.at("scenario").as_string();
+            e.rep = j.at("rep").as_uint();
+            if (const Json* f = j.find("failure")) {
+                e.failed = true;
+                e.stage = f->at("stage").as_string();
+                e.what = f->at("what").as_string();
+            } else {
+                e.result = replication_from_json(j.at("result"));
+            }
+            data.entries.push_back(std::move(e));
+        } catch (const std::exception& e) {
+            if (torn) break;
+            throw std::runtime_error("checkpoint " + path + ": bad record: " + e.what());
+        }
+    }
+    return data;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path, const std::string& config) {
+    // "a" preserves completed records when resuming; ftell distinguishes a
+    // fresh file (write the header) from a continued one.
+    file_ = std::fopen(path.c_str(), "a");
+    if (file_ == nullptr)
+        throw std::runtime_error("checkpoint: cannot open " + path + " for append");
+    if (std::ftell(file_) == 0) {
+        Json header = Json::object();
+        header.set("schema", Json::string(kSchema));
+        header.set("config", Json::string(config));
+        write_line(header);
+    }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+    if (file_ != nullptr) (void)std::fclose(file_);
+}
+
+void CheckpointWriter::write_line(const Json& j) {
+    const std::string line = j.dump(0) + "\n";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+        throw std::runtime_error("checkpoint: write failed");
+    }
+    // Durability per record: a kill -9 after record() returns loses nothing.
+    (void)::fsync(fileno(file_));
+}
+
+void CheckpointWriter::record_result(const std::string& scenario, std::uint64_t rep,
+                                     const ReplicationResult& r) {
+    Json j = Json::object();
+    j.set("scenario", Json::string(scenario));
+    j.set("rep", Json::integer(rep));
+    j.set("result", replication_to_json(r));
+    write_line(j);
+}
+
+void CheckpointWriter::record_failure(const std::string& scenario, std::uint64_t rep,
+                                      const std::string& stage, const std::string& what) {
+    Json j = Json::object();
+    j.set("scenario", Json::string(scenario));
+    j.set("rep", Json::integer(rep));
+    Json f = Json::object();
+    f.set("stage", Json::string(stage));
+    f.set("what", Json::string(what));
+    j.set("failure", std::move(f));
+    write_line(j);
+}
+
+}  // namespace hap::experiment

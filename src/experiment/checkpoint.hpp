@@ -1,0 +1,89 @@
+// Crash-safe sweep checkpoints, format "hap.ckpt/v1".
+//
+// A checkpoint is an append-only JSON-Lines file: a header line
+//
+//   {"schema":"hap.ckpt/v1","config":"<grid fingerprint>"}
+//
+// followed by one self-contained record per finished (scenario, replication)
+// job — either a full ReplicationResult snapshot or a failure record. Each
+// record is flushed and fsync'ed as it completes, so a killed sweep loses at
+// most the jobs in flight; the reader tolerates a torn trailing line (the
+// write the crash interrupted) and drops it.
+//
+// Replication snapshots serialize the raw accumulator state of every
+// statistic (OnlineStats / TimeWeightedStats / BusyPeriodTracker) with
+// shortest-round-trip doubles, so a restored result is bit-identical to the
+// freshly simulated one and a resumed sweep's merged output matches an
+// uninterrupted run byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "experiment/failure.hpp"
+#include "experiment/json.hpp"
+#include "experiment/result.hpp"
+
+namespace hap::experiment {
+
+// Exact JSON round trip of one replication summary (wall_time_s, which is
+// not deterministic, is excluded and restores as 0).
+Json replication_to_json(const ReplicationResult& r);
+ReplicationResult replication_from_json(const Json& j);
+
+// One parsed checkpoint record: a completed replication or a recorded
+// failure for (scenario, rep).
+struct CheckpointEntry {
+    std::string scenario;
+    std::uint64_t rep = 0;
+    bool failed = false;
+    ReplicationResult result;  // valid iff !failed
+    std::string stage;         // valid iff failed
+    std::string what;          // valid iff failed
+};
+
+struct CheckpointData {
+    std::string config;  // header fingerprint; resume validates it
+    std::vector<CheckpointEntry> entries;
+
+    // Latest entry for (scenario, rep), nullptr when absent. Later records
+    // win so a re-run job supersedes its older snapshot.
+    const CheckpointEntry* find(const std::string& scenario, std::uint64_t rep) const;
+};
+
+// Load a checkpoint file. A missing file yields an empty CheckpointData
+// (fresh start); a torn final line is dropped; a malformed header or interior
+// line throws std::runtime_error (the file is corrupt, not merely truncated).
+CheckpointData read_checkpoint(const std::string& path);
+
+// Append-mode checkpoint writer. Thread-safe: pool workers call record()
+// concurrently; each record is one line, flushed and fsync'ed before the
+// call returns. Record order in the file is schedule-dependent and
+// irrelevant — resume keys records by (scenario, rep).
+class CheckpointWriter {
+public:
+    // Create or continue `path`. When the file is empty/new the header line
+    // is written with `config`; when continuing, the caller is expected to
+    // have validated the existing header via read_checkpoint first.
+    CheckpointWriter(const std::string& path, const std::string& config);
+    ~CheckpointWriter();
+
+    CheckpointWriter(const CheckpointWriter&) = delete;
+    CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+    void record_result(const std::string& scenario, std::uint64_t rep,
+                       const ReplicationResult& r);
+    void record_failure(const std::string& scenario, std::uint64_t rep,
+                        const std::string& stage, const std::string& what);
+
+private:
+    void write_line(const Json& j);
+
+    std::FILE* file_ = nullptr;
+    std::mutex mutex_;
+};
+
+}  // namespace hap::experiment

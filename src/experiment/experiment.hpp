@@ -1,8 +1,13 @@
 // Umbrella header for the experiment engine: scenarios, the parallel
-// replication runner, interval estimates, and JSON result output.
+// replication runner, interval estimates, fault containment (failure
+// records, fault injection, checkpoints), and JSON result output.
 #pragma once
 
 #include "experiment/analytic.hpp"
+#include "experiment/atomic_file.hpp"
+#include "experiment/checkpoint.hpp"
+#include "experiment/failure.hpp"
+#include "experiment/faultinject.hpp"
 #include "experiment/grid.hpp"
 #include "experiment/json.hpp"
 #include "experiment/json_writer.hpp"

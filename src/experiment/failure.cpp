@@ -1,0 +1,29 @@
+#include "experiment/failure.hpp"
+
+#include <utility>
+
+namespace hap::experiment {
+
+Json failure_to_json(const FailureRecord& f) {
+    Json j = Json::object();
+    j.set("scenario", Json::string(f.scenario));
+    j.set("rep", Json::integer(f.run_id));
+    j.set("job", Json::integer(static_cast<std::uint64_t>(f.job_index)));
+    j.set("master_seed", Json::integer(f.master_seed));
+    j.set("component", Json::integer(f.component));
+    j.set("stage", Json::string(f.stage));
+    j.set("what", Json::string(f.what));
+    return j;
+}
+
+Json failures_block_json(const std::vector<FailureRecord>& failures) {
+    Json block = Json::object();
+    block.set("schema", Json::string("hap.failures/v1"));
+    block.set("count", Json::integer(static_cast<std::uint64_t>(failures.size())));
+    Json records = Json::array();
+    for (const FailureRecord& f : failures) records.add(failure_to_json(f));
+    block.set("records", std::move(records));
+    return block;
+}
+
+}  // namespace hap::experiment

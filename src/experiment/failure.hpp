@@ -1,0 +1,40 @@
+// Structured failure records for contained experiment execution.
+//
+// When fault containment is active (ExperimentRunner::run_all_contained,
+// run_analytic_sweep), a failing job no longer aborts the sweep: it becomes
+// one FailureRecord — scenario, replication, the substream identity that
+// reproduces it, the exception text, and where in the pipeline it fired —
+// and the sweep continues. Records are ordered by job index, so the failures
+// block of the result document is deterministic for any thread count; every
+// field is reproducible (no wall-clock, no thread ids), which keeps a
+// resumed sweep's failures block byte-identical to an uninterrupted one's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/json.hpp"
+
+namespace hap::experiment {
+
+struct FailureRecord {
+    std::string scenario;       // scenario / sweep-point name
+    std::uint64_t run_id = 0;   // replication id (0 for analytic points)
+    std::size_t job_index = 0;  // deterministic ordering key within the sweep
+    std::uint64_t master_seed = 0;
+    std::uint64_t component = 0;  // sim::component_id(scenario) substream id
+    std::string stage;            // "simulate" | "validate" | "analytic" | ...
+    std::string what;             // exception text
+};
+
+// One record as JSON (insertion-ordered, deterministic).
+Json failure_to_json(const FailureRecord& f);
+
+// The document-level "failures" block, schema "hap.failures/v1":
+//   { "schema": ..., "count": N, "records": [ ... ] }
+// Callers emit it only when `failures` is non-empty so fault-free documents
+// stay byte-identical to pre-containment output.
+Json failures_block_json(const std::vector<FailureRecord>& failures);
+
+}  // namespace hap::experiment

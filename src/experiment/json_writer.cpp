@@ -1,7 +1,8 @@
 #include "experiment/json_writer.hpp"
 
-#include <cstdio>
 #include <utility>
+
+#include "experiment/atomic_file.hpp"
 
 namespace hap::experiment {
 
@@ -128,6 +129,12 @@ JsonWriter& JsonWriter::metrics_block(Json metrics) {
     return *this;
 }
 
+JsonWriter& JsonWriter::failures_block(Json failures) {
+    failures_.clear();
+    failures_.push_back(std::move(failures));
+    return *this;
+}
+
 std::string JsonWriter::dump() const {
     Json doc = Json::object();
     doc.set("schema", Json::string("hap.bench.result/v1"));
@@ -136,16 +143,13 @@ std::string JsonWriter::dump() const {
     Json points = Json::array();
     for (const Json& p : points_) points.add(p);
     doc.set("points", std::move(points));
+    if (!failures_.empty()) doc.set("failures", failures_.front());
     if (!metrics_.empty()) doc.set("metrics", metrics_.front());
     return doc.dump(2) + "\n";
 }
 
 bool JsonWriter::write_file(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) return false;
-    const std::string text = dump();
-    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    return (std::fclose(f) == 0) && ok;
+    return atomic_write_file(path, dump());
 }
 
 }  // namespace hap::experiment

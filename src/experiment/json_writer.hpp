@@ -57,14 +57,23 @@ public:
     // document is byte-identical to a writer without this feature.
     JsonWriter& metrics_block(Json metrics);
 
+    // Optional document-level "failures" block (schema "hap.failures/v1",
+    // see experiment/failure.hpp), emitted between "points" and "metrics".
+    // When never set, the document is byte-identical to pre-containment
+    // output — fault-free sweeps carry no failures key at all.
+    JsonWriter& failures_block(Json failures);
+
     std::string dump() const;
-    // Serialize to `path`; returns false (and prints nothing) on I/O error.
+    // Serialize to `path` atomically (temp file + fsync + rename, see
+    // experiment/atomic_file.hpp): a crash or failed write never leaves a
+    // truncated document or debris behind. Returns false on I/O error.
     bool write_file(const std::string& path) const;
 
 private:
     std::string bench_id_;
     std::vector<std::pair<std::string, Json>> meta_;
     std::vector<Json> points_;
+    std::vector<Json> failures_;  // empty or one document-level failures block
     std::vector<Json> metrics_;  // empty or one document-level metrics block
 };
 

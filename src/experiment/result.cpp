@@ -65,6 +65,19 @@ ReplicationResult ReplicationResult::from(std::uint64_t run_id,
     return r;
 }
 
+void validate_replication(const ReplicationResult& r) {
+    HAP_CHECK_FINITE(r.delay.mean());
+    HAP_CHECK_FINITE(r.number.mean());
+    HAP_CHECK_FINITE(r.observed_time);
+    HAP_CHECK_PROB(r.utilization);
+    HAP_PRECOND(r.observed_time >= 0.0);
+    HAP_PRECOND(r.departures <= r.arrivals);
+    for (const double d : r.delays) {
+        HAP_CHECK_FINITE(d);
+        HAP_PRECOND(d >= 0.0);
+    }
+}
+
 MergedResult MergedResult::merge(const std::vector<ReplicationResult>& runs) {
     MergedResult m;
     m.replications = runs.size();

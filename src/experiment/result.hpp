@@ -56,6 +56,13 @@ struct ReplicationResult {
                                   double warmup);
 };
 
+// Sanity-check one replication before it is merged or checkpointed: moments
+// must be finite, utilization a probability, counters consistent. Throws
+// core::ContractViolation on the first violation, so a single poisoned
+// replication (NaN propagation, counter corruption) is contained at the job
+// boundary instead of sinking the whole scenario's merge.
+void validate_replication(const ReplicationResult& r);
+
 // Replications merged in run_id order.
 struct MergedResult {
     std::size_t replications = 0;

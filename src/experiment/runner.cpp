@@ -5,9 +5,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
+#include <utility>
 
+#include "experiment/faultinject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 
@@ -37,7 +40,36 @@ void record_replication(const std::string& label, std::uint64_t run_id,
                   static_cast<double>(total - std::min(done, total)));
 }
 
+// The nan@ fault hook: overwrite the delay accumulator's mean with a quiet
+// NaN through the state round-trip API, exactly as a numerically broken
+// simulator would hand it back. validate_replication must catch this.
+void poison_delay(ReplicationResult& r) {
+    stats::OnlineStats::State st = r.delay.state();
+    st.mean = std::numeric_limits<double>::quiet_NaN();
+    r.delay = stats::OnlineStats::from_state(st);
+}
+
 }  // namespace
+
+ParallelForError::ParallelForError(std::vector<JobError> errors)
+    : std::runtime_error(describe(errors)), errors_(std::move(errors)) {}
+
+std::string ParallelForError::describe(const std::vector<JobError>& errors) {
+    std::string first = "unknown error";
+    if (!errors.empty() && errors.front().error) {
+        try {
+            std::rethrow_exception(errors.front().error);
+        } catch (const std::exception& e) {
+            first = e.what();
+        } catch (...) {
+        }
+    }
+    std::string msg = "parallel_for: " + std::to_string(errors.size()) +
+                      " job(s) failed; first (job " +
+                      std::to_string(errors.empty() ? 0 : errors.front().index) +
+                      "): " + first;
+    return msg;
+}
 
 std::size_t env_threads() {
     if (const char* env = std::getenv("HAP_BENCH_THREADS")) {
@@ -55,33 +87,44 @@ void ExperimentRunner::parallel_for(std::size_t n,
                                     const std::function<void(std::size_t)>& fn) const {
     if (n == 0) return;
     const std::size_t workers = std::min(threads_, n);
+    std::vector<JobError> errors;
     if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i) fn(i);
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    const auto work = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) return;
+        // The serial path mirrors the pool exactly — every job runs even
+        // after one throws — so failure sets are identical at any thread
+        // count.
+        for (std::size_t i = 0; i < n; ++i) {
             try {
                 fn(i);
             } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) first_error = std::current_exception();
+                errors.push_back({i, std::current_exception()});
             }
         }
-    };
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::mutex error_mutex;
+        const auto work = [&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n) return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    errors.push_back({i, std::current_exception()});
+                }
+            }
+        };
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
-    work();  // the calling thread is worker 0
-    for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+        work();  // the calling thread is worker 0
+        for (std::thread& t : pool) t.join();
+        // Capture order is schedule-dependent; job-index order is not.
+        std::sort(errors.begin(), errors.end(),
+                  [](const JobError& a, const JobError& b) { return a.index < b.index; });
+    }
+    if (!errors.empty()) throw ParallelForError(std::move(errors));
 }
 
 ReplicationResult ExperimentRunner::simulate_hap(const Scenario& sc,
@@ -160,6 +203,119 @@ std::vector<MergedResult> ExperimentRunner::run_all(const std::vector<Scenario>&
     merged.reserve(grid.size());
     for (const auto& r : runs) merged.push_back(MergedResult::merge(r));
     return merged;
+}
+
+ContainedSweep ExperimentRunner::run_all_contained(
+    const std::vector<Scenario>& grid, const ContainOptions& copts) const {
+    return run_all_contained(grid, &ExperimentRunner::simulate_hap, copts);
+}
+
+ContainedSweep ExperimentRunner::run_all_contained(
+    const std::vector<Scenario>& grid, const SimulateFn& simulate,
+    const ContainOptions& copts) const {
+    // Same flattened job list as run_all; the difference is that each job is
+    // its own fault domain. A job either delivers a VALIDATED replication or
+    // one FailureRecord — never a half-poisoned merge input — and either
+    // outcome is checkpointed before the sweep moves on.
+    std::vector<std::size_t> offsets(grid.size() + 1, 0);
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+        grid[s].validate();
+        offsets[s + 1] = offsets[s] + grid[s].replications;
+    }
+    const std::size_t total = offsets.back();
+    std::vector<std::vector<ReplicationResult>> runs(grid.size());
+    for (std::size_t s = 0; s < grid.size(); ++s) runs[s].resize(grid[s].replications);
+
+    // Fixed per-job slots: no cross-thread ordering to reason about, and the
+    // final failure list falls out in job-index order by construction.
+    std::vector<char> ok(total, 0);
+    std::vector<char> bad(total, 0);
+    std::vector<FailureRecord> slots(total);
+
+    const bool metrics = obs::enabled();
+    std::atomic<std::uint64_t> done{0};
+    parallel_for(total, [&](std::size_t job) {
+        std::size_t s = 0;
+        while (job >= offsets[s + 1]) ++s;
+        const std::size_t rep = job - offsets[s];
+        const Scenario& sc = grid[s];
+
+        // Resume: a checkpointed outcome — success or failure — is restored
+        // verbatim instead of re-running the job. It is already in the
+        // checkpoint file, so it is not re-recorded either.
+        if (copts.resume != nullptr) {
+            if (const CheckpointEntry* e = copts.resume->find(sc.name, rep)) {
+                if (e->failed) {
+                    FailureRecord& f = slots[job];
+                    f.scenario = sc.name;
+                    f.run_id = rep;
+                    f.job_index = job;
+                    f.master_seed = sc.master_seed;
+                    f.component = sc.component();
+                    f.stage = e->stage;
+                    f.what = e->what;
+                    bad[job] = 1;
+                } else {
+                    runs[s][rep] = e->result;
+                    ok[job] = 1;
+                }
+                return;
+            }
+        }
+
+        const char* stage = "simulate";
+        try {
+            maybe_throw_injected(sc.name, rep);
+            using Clock = std::chrono::steady_clock;
+            const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
+            sim::RandomStream rng = sc.stream(rep);
+            ReplicationResult r = simulate(sc, rep, rng);
+            if (fault_fires(FaultKind::Nan, sc.name, rep)) poison_delay(r);
+            stage = "validate";
+            validate_replication(r);
+            runs[s][rep] = std::move(r);
+            ok[job] = 1;
+            if (metrics) {
+                record_replication(sc.name, rep, runs[s][rep], obs::seconds_since(t0),
+                                   done.fetch_add(1) + 1, total);
+            }
+            if (copts.checkpoint != nullptr)
+                copts.checkpoint->record_result(sc.name, rep, runs[s][rep]);
+        } catch (const std::exception& e) {
+            FailureRecord& f = slots[job];
+            f.scenario = sc.name;
+            f.run_id = rep;
+            f.job_index = job;
+            f.master_seed = sc.master_seed;
+            f.component = sc.component();
+            f.stage = stage;
+            f.what = e.what();
+            bad[job] = 1;
+            if (metrics) obs::registry().add_counter("experiment.failures");
+            if (copts.checkpoint != nullptr)
+                copts.checkpoint->record_failure(sc.name, rep, stage, f.what);
+        }
+    });
+
+    ContainedSweep out;
+    for (std::size_t job = 0; job < total; ++job)
+        if (bad[job]) out.failures.push_back(std::move(slots[job]));
+    if (total > 0 && out.failures.size() == total) {
+        throw std::runtime_error("run_all_contained: all " + std::to_string(total) +
+                                 " jobs failed; first: " + out.failures.front().what);
+    }
+
+    out.merged.reserve(grid.size());
+    out.survivors.reserve(grid.size());
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+        std::vector<ReplicationResult> alive;
+        alive.reserve(runs[s].size());
+        for (std::size_t rep = 0; rep < runs[s].size(); ++rep)
+            if (ok[offsets[s] + rep]) alive.push_back(std::move(runs[s][rep]));
+        out.survivors.push_back(alive.size());
+        out.merged.push_back(MergedResult::merge(alive));
+    }
+    return out;
 }
 
 }  // namespace hap::experiment

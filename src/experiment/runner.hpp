@@ -6,9 +6,14 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "experiment/checkpoint.hpp"
+#include "experiment/failure.hpp"
 #include "experiment/result.hpp"
 #include "experiment/scenario.hpp"
 
@@ -18,6 +23,45 @@ namespace hap::experiment {
 // concurrency (at least 1).
 std::size_t env_threads();
 
+// Fault-contained sweep options: an optional append-mode checkpoint (every
+// finished job is persisted before the sweep moves on) and an optional
+// resume snapshot (jobs already present are restored, not re-run).
+struct ContainOptions {
+    CheckpointWriter* checkpoint = nullptr;
+    const CheckpointData* resume = nullptr;
+};
+
+// Result of a contained sweep: merged results in grid order (each merged
+// over the SURVIVING replications only, in run_id order), the per-scenario
+// survivor counts, and every failure ordered by flattened job index.
+struct ContainedSweep {
+    std::vector<MergedResult> merged;
+    std::vector<std::size_t> survivors;
+    std::vector<FailureRecord> failures;
+};
+
+// One failed job of a parallel_for: the job index and the exception it threw.
+struct JobError {
+    std::size_t index = 0;
+    std::exception_ptr error;
+};
+
+// Thrown by parallel_for when jobs fail. EVERY failure is kept, ordered by
+// job index (deterministic for any thread count); what() reports the count
+// and the first failure's text. Derives from std::runtime_error so callers
+// that only ever expected "the one exception" still catch it.
+class ParallelForError : public std::runtime_error {
+public:
+    explicit ParallelForError(std::vector<JobError> errors);
+
+    const std::vector<JobError>& errors() const noexcept { return errors_; }
+
+private:
+    static std::string describe(const std::vector<JobError>& errors);
+
+    std::vector<JobError> errors_;
+};
+
 class ExperimentRunner {
 public:
     // threads == 0 picks env_threads().
@@ -26,8 +70,10 @@ public:
     std::size_t threads() const noexcept { return threads_; }
 
     // Run fn(i) for every i in [0, n) on the pool; blocks until all jobs
-    // finish. The calling thread participates. If jobs throw, the first
-    // exception is rethrown after the pool drains.
+    // finish. The calling thread participates. A throwing job never stops the
+    // others: every job runs (serial and pooled paths alike), every exception
+    // is captured, and a ParallelForError carrying all of them — ordered by
+    // job index — is thrown after the pool drains.
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const;
 
     // One replication: given the scenario, the run id, and that run's
@@ -53,6 +99,18 @@ public:
     std::vector<MergedResult> run_all(const std::vector<Scenario>& grid) const;
     std::vector<MergedResult> run_all(const std::vector<Scenario>& grid,
                                       const SimulateFn& simulate) const;
+
+    // Fault-contained run_all: a failing (scenario, replication) job becomes
+    // one FailureRecord instead of aborting the sweep, and every replication
+    // is validated (validate_replication) BEFORE it may reach the merge, so a
+    // poisoned result is contained at the job boundary. Non-faulted jobs are
+    // bit-identical to what run_all produces. Throws std::runtime_error only
+    // when EVERY job failed (nothing to report).
+    ContainedSweep run_all_contained(const std::vector<Scenario>& grid,
+                                     const ContainOptions& copts = ContainOptions()) const;
+    ContainedSweep run_all_contained(const std::vector<Scenario>& grid,
+                                     const SimulateFn& simulate,
+                                     const ContainOptions& copts = ContainOptions()) const;
 
 private:
     std::size_t threads_;

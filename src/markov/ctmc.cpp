@@ -1,6 +1,7 @@
 #include "markov/ctmc.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -224,6 +225,39 @@ void abort_degenerate(const char* solver, SolveResult& res, std::size_t iter,
     record_solve(solver, res, n, timer);
 }
 
+// The wall-clock backstop of the solve budget, evaluated lazily at check
+// boundaries. Deterministic budgets (iterations, states) are preferred; this
+// exists so an operator can bound a sweep's wall time no matter what.
+class WallDeadline {
+public:
+    explicit WallDeadline(std::uint64_t wall_ms) {
+        if (wall_ms > 0) {
+            armed_ = true;
+            deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(wall_ms);
+        }
+    }
+    bool expired() const {
+        return armed_ && std::chrono::steady_clock::now() >= deadline_;
+    }
+
+private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+// The state-budget refusal shared by both solvers: too many states to even
+// allocate under the budget, so hand back a uniform non-converged iterate
+// flagged budget_exhausted.
+SolveResult refuse_states(const char* solver, std::size_t n, obs::ScopedTimer& timer) {
+    SolveResult res;
+    res.pi.assign(n, 1.0 / static_cast<double>(n));
+    res.residual = std::numeric_limits<double>::infinity();
+    res.budget_exhausted = true;
+    if (obs::enabled()) obs::registry().add_counter("ctmc.budget_exhausted");
+    record_solve(solver, res, n, timer);
+    return res;
+}
+
 double max_relative_change(const std::vector<double>& a, const std::vector<double>& b) {
     double worst = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -241,6 +275,9 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
     if (!chain.finalized()) throw std::logic_error("solve_steady_state: finalize first");
     obs::ScopedTimer timer("ctmc.gs_s");
     const std::size_t n = chain.num_states();
+    if (opts.budget.states_exceeded(n)) return refuse_states("ctmc.gs", n, timer);
+    const std::size_t max_iter = opts.budget.cap_iterations(opts.max_iter);
+    const WallDeadline deadline(opts.budget.wall_ms);
     SolveResult res;
     res.warm_started = seed_iterate(res.pi, n, opts);
     // Aitken history (three previous checked iterates) plus a scratch vector;
@@ -254,10 +291,10 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
     double best_residual = std::numeric_limits<double>::infinity();
     std::size_t checks_since_best = 0;
 
-    for (std::size_t iter = 1; iter <= opts.max_iter; ++iter) {
+    for (std::size_t iter = 1; iter <= max_iter; ++iter) {
         // The last budgeted iteration is a forced check so the reported
         // residual is always fresh, never stale from a skipped window.
-        const bool check = (iter % opts.check_every) == 0 || iter == opts.max_iter;
+        const bool check = (iter % opts.check_every) == 0 || iter == max_iter;
         double worst = 0.0;
         for (std::size_t s = 0; s < n; ++s) {
             const double out = chain.exit_rate(s);
@@ -289,6 +326,7 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
                 record_solve("ctmc.gs", res, n, timer);
                 return res;
             }
+            if (deadline.expired()) break;  // wall backstop; flagged below
             // Fuses: extrapolation must keep the checked residual moving
             // down. Two consecutive non-improving checks after accepted
             // extrapolations mean the slow modes alias the scalar ratio
@@ -318,7 +356,7 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
                 checks_since_best = 0;
             }
             prev_check = res.residual;
-            if (accel_on && iter < opts.max_iter) {
+            if (accel_on && iter < max_iter) {
                 if (hist >= 3 && aitken_extrapolate(h0, h1, h2, res.pi, scratch)) {
                     ++res.accelerations;
                     hist = 0;  // extrapolated point starts a fresh sequence
@@ -332,7 +370,13 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
             }
         }
     }
-    res.iterations = opts.max_iter;
+    // Non-converged exit: the budget (tightened iteration cap or the wall
+    // backstop) — rather than the solver's own max_iter — is reported as
+    // budget exhaustion, a checkable boundary for the fallback chain.
+    if (max_iter < opts.max_iter || deadline.expired()) {
+        res.budget_exhausted = true;
+        if (obs::enabled()) obs::registry().add_counter("ctmc.budget_exhausted");
+    }
     record_solve("ctmc.gs", res, n, timer);
     return res;
 }
@@ -341,6 +385,9 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
     if (!chain.finalized()) throw std::logic_error("solve_steady_state_power: finalize first");
     obs::ScopedTimer timer("ctmc.power_s");
     const std::size_t n = chain.num_states();
+    if (opts.budget.states_exceeded(n)) return refuse_states("ctmc.power", n, timer);
+    const std::size_t max_iter = opts.budget.cap_iterations(opts.max_iter);
+    const WallDeadline deadline(opts.budget.wall_ms);
     double lambda = 0.0;
     for (std::size_t s = 0; s < n; ++s) lambda = std::max(lambda, chain.exit_rate(s));
     lambda *= 1.02;  // strict uniformization constant avoids periodicity
@@ -357,8 +404,8 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
     double best_residual = std::numeric_limits<double>::infinity();
     std::size_t checks_since_best = 0;
 
-    for (std::size_t iter = 1; iter <= opts.max_iter; ++iter) {
-        const bool check = (iter % opts.check_every) == 0 || iter == opts.max_iter;
+    for (std::size_t iter = 1; iter <= max_iter; ++iter) {
+        const bool check = (iter % opts.check_every) == 0 || iter == max_iter;
         // next = pi * (I + Q / lambda)
         for (std::size_t s = 0; s < n; ++s)
             next[s] = res.pi[s] * (1.0 - chain.exit_rate(s) / lambda);
@@ -380,6 +427,7 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
                 record_solve("ctmc.power", res, n, timer);
                 return res;
             }
+            if (deadline.expired()) break;  // wall backstop; flagged below
             // Same residual fuses as the Gauss-Seidel path (see above).
             if (accel_on && res.accelerations > 0) {
                 if (res.residual >= prev_check) {
@@ -400,7 +448,7 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
                 checks_since_best = 0;
             }
             prev_check = res.residual;
-            if (accel_on && iter < opts.max_iter) {
+            if (accel_on && iter < max_iter) {
                 if (hist >= 3 && aitken_extrapolate(h0, h1, h2, res.pi, scratch)) {
                     ++res.accelerations;
                     hist = 0;  // extrapolated point starts a fresh sequence
@@ -414,7 +462,11 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
             }
         }
     }
-    res.iterations = opts.max_iter;
+    // See the Gauss-Seidel exit: budget-driven stops are flagged.
+    if (max_iter < opts.max_iter || deadline.expired()) {
+        res.budget_exhausted = true;
+        if (obs::enabled()) obs::registry().add_counter("ctmc.budget_exhausted");
+    }
     record_solve("ctmc.power", res, n, timer);
     return res;
 }

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/budget.hpp"
+
 namespace hap::markov {
 
 struct Transition {
@@ -67,6 +69,11 @@ struct SolveOptions {
     // so acceleration can only change how fast the fixed point is reached,
     // never which fixed point.
     bool accelerate = true;
+    // Resource budget (see core/budget.hpp). max_iterations tightens
+    // max_iter; a chain larger than max_states is refused outright; wall_ms
+    // is checked at check boundaries. Exhaustion returns a non-converged
+    // result with budget_exhausted set instead of hanging.
+    core::SolveBudget budget;
 };
 
 struct SolveResult {
@@ -79,6 +86,10 @@ struct SolveResult {
     // accepted along the way.
     bool warm_started = false;
     std::size_t accelerations = 0;
+    // The SolveBudget (not the solver's own max_iter) stopped this solve:
+    // converged is false and the iterate is the best available. Iteration
+    // and state budgets trip deterministically; wall_ms does not.
+    bool budget_exhausted = false;
 };
 
 // Gauss-Seidel on pi(s) = sum_in pi(s') rate(s'->s) / exit_rate(s), with

@@ -1,5 +1,6 @@
 #include "markov/qbd.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -52,6 +53,7 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
     obs::ScopedTimer timer("qbd.solve_s");
     const auto record = [n, &timer](const QbdResult& r) {
         if (!obs::enabled()) return;
+        if (r.budget_exhausted) obs::registry().add_counter("qbd.budget_exhausted");
         obs::SolverTelemetry t;
         t.solver = "qbd";
         t.iterations = static_cast<std::uint64_t>(r.iterations);
@@ -61,6 +63,20 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
         t.converged = r.converged;
         obs::registry().record_solver(std::move(t));
     };
+
+    // Budget: refuse oversized phase spaces before the O(n^3) setup, tighten
+    // the iteration cap deterministically, and arm the wall backstop.
+    if (opts.budget.states_exceeded(n)) {
+        QbdResult refused;
+        refused.budget_exhausted = true;
+        record(refused);
+        return refused;
+    }
+    const int max_iter = static_cast<int>(opts.budget.cap_iterations(
+        opts.max_iter > 0 ? static_cast<std::size_t>(opts.max_iter) : 0));
+    const bool has_deadline = opts.budget.wall_ms > 0;
+    const std::chrono::steady_clock::time_point wall_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts.budget.wall_ms);
 
     // Stability is decided by the exact drift condition pi . lambda < mu
     // (pi = stationary law of the modulating chain): the spectral radius of
@@ -137,7 +153,11 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
     }
 
     Matrix h = b0, l = b2, t = b0;
-    for (; !warm_done && res.iterations < opts.max_iter; ++res.iterations) {
+    for (; !warm_done && res.iterations < max_iter; ++res.iterations) {
+        if (has_deadline && std::chrono::steady_clock::now() >= wall_deadline) {
+            res.budget_exhausted = true;
+            break;
+        }
         // U = HL + LH; H' = (I-U)^{-1} H^2; L' = (I-U)^{-1} L^2;
         // G += T L'; T *= H'.
         Matrix u = h * l + l * h;
@@ -161,6 +181,9 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
             break;
         }
     }
+    // A tightened iteration cap that expired is budget exhaustion, not the
+    // solver's own limit.
+    if (!res.converged && max_iter < opts.max_iter) res.budget_exhausted = true;
 
     // R = A0 (-A1 - A0 G)^{-1}; A0 diagonal => row scaling of the inverse.
     Matrix w = neg_a1;

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/budget.hpp"
 #include "numerics/matrix.hpp"
 
 namespace hap::markov {
@@ -15,6 +16,10 @@ namespace hap::markov {
 struct QbdOptions {
     double tol = 1e-13;       // max-abs change in R per iteration
     int max_iter = 100000;
+    // Resource budget (see core/budget.hpp): max_iterations tightens
+    // max_iter, max_states bounds the phase count, wall_ms backstops the
+    // reduction loop. Exhaustion is reported via QbdResult::budget_exhausted.
+    core::SolveBudget budget;
     // Warm start: a G matrix from a neighboring sweep point (see
     // QbdResult::g). When provided and well-shaped, the solver runs the
     // natural functional iteration G <- B2 + B0 G^2 from this guess — a few
@@ -38,6 +43,9 @@ struct QbdResult {
     bool stable = false;
     bool converged = false;  // reduction hit tol (false = iteration budget spent)
     bool warm_started = false;  // converged via functional iteration from initial_g
+    // The SolveBudget stopped this solve (phase count over max_states, the
+    // tightened iteration cap, or the wall backstop); converged is false.
+    bool budget_exhausted = false;
 };
 
 // Solve the MMPP/M/1 queue. `phase_generator` is the modulating chain's

@@ -40,6 +40,37 @@ public:
     // Long-run fraction of time the server is busy (counts the open period).
     double busy_fraction() const noexcept;
 
+    // Checkpoint snapshot; see OnlineStats::State.
+    struct State {
+        OnlineStats::State busy;
+        OnlineStats::State idle;
+        OnlineStats::State heights;
+        double last_event_time = 0.0;
+        double period_start = 0.0;
+        double busy_time_total = 0.0;
+        double observed_total = 0.0;
+        bool in_busy = false;
+        std::uint64_t current_height = 0;
+    };
+    State state() const noexcept {
+        return State{busy_.state(),      idle_.state(),   heights_.state(),
+                     last_event_time_,   period_start_,   busy_time_total_,
+                     observed_total_,    in_busy_,        current_height_};
+    }
+    static BusyPeriodTracker from_state(const State& s) noexcept {
+        BusyPeriodTracker t;
+        t.busy_ = OnlineStats::from_state(s.busy);
+        t.idle_ = OnlineStats::from_state(s.idle);
+        t.heights_ = OnlineStats::from_state(s.heights);
+        t.last_event_time_ = s.last_event_time;
+        t.period_start_ = s.period_start;
+        t.busy_time_total_ = s.busy_time_total;
+        t.observed_total_ = s.observed_total;
+        t.in_busy_ = s.in_busy;
+        t.current_height_ = s.current_height;
+        return t;
+    }
+
 private:
     void close_idle(double time) noexcept;
 

@@ -31,6 +31,28 @@ public:
     // interarrival samples (1 for exponential).
     double scv() const noexcept;
 
+    // Raw accumulator snapshot for checkpointing: restoring via from_state
+    // reproduces the accumulator bit-for-bit, so a resumed sweep merges
+    // identically to an uninterrupted one. min/max are +-Inf while n == 0
+    // (the serializer omits them; JSON has no Inf).
+    struct State {
+        std::uint64_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+    };
+    State state() const noexcept { return State{n_, mean_, m2_, min_, max_}; }
+    static OnlineStats from_state(const State& s) noexcept {
+        OnlineStats o;
+        o.n_ = s.n;
+        o.mean_ = s.mean;
+        o.m2_ = s.m2;
+        o.min_ = s.min;
+        o.max_ = s.max;
+        return o;
+    }
+
 private:
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
@@ -69,6 +91,28 @@ public:
     double variance() const noexcept;
     double current_value() const noexcept { return value_; }
     double max() const noexcept { return max_; }
+
+    // Checkpoint snapshot; see OnlineStats::State. max is -Inf until the
+    // first update().
+    struct State {
+        double last_time = 0.0;
+        double value = 0.0;
+        double total_time = 0.0;
+        double area = 0.0;
+        double area2 = 0.0;
+        double max = -std::numeric_limits<double>::infinity();
+    };
+    State state() const noexcept {
+        return State{last_time_, value_, total_time_, area_, area2_, max_};
+    }
+    static TimeWeightedStats from_state(const State& s) noexcept {
+        TimeWeightedStats t(s.last_time, s.value);
+        t.total_time_ = s.total_time;
+        t.area_ = s.area;
+        t.area2_ = s.area2;
+        t.max_ = s.max;
+        return t;
+    }
 
 private:
     double last_time_;

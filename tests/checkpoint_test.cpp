@@ -1,0 +1,339 @@
+// Tests for crash-safe checkpoint/resume: exact JSON round trips of
+// replication accumulators, the JSON-Lines checkpoint reader/writer
+// (torn-line tolerance, latest-wins), atomic file replacement under an
+// injected mid-write abort, and the headline guarantee — a killed-then-
+// resumed sweep merges bit-identically to an uninterrupted one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/hap_params.hpp"
+#include "experiment/experiment.hpp"
+#include "stats/busy_period.hpp"
+#include "stats/online_stats.hpp"
+
+namespace {
+
+using hap::experiment::atomic_write_file;
+using hap::experiment::CheckpointData;
+using hap::experiment::CheckpointEntry;
+using hap::experiment::CheckpointWriter;
+using hap::experiment::ContainedSweep;
+using hap::experiment::ContainOptions;
+using hap::experiment::ExperimentRunner;
+using hap::experiment::FaultPlan;
+using hap::experiment::Json;
+using hap::experiment::JsonWriter;
+using hap::experiment::read_checkpoint;
+using hap::experiment::read_file;
+using hap::experiment::replication_from_json;
+using hap::experiment::replication_to_json;
+using hap::experiment::ReplicationResult;
+using hap::experiment::Scenario;
+using hap::experiment::set_fault_plan;
+
+std::string temp_path(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "hap_" + name;
+    (void)std::remove(path.c_str());  // idempotent across reruns
+    return path;
+}
+
+Scenario small_scenario(const std::string& name, std::size_t replications) {
+    Scenario sc;
+    sc.name = name;
+    sc.params = hap::core::HapParams::paper_baseline(20.0);
+    sc.horizon = 5e3;
+    sc.warmup = 500;
+    sc.replications = replications;
+    return sc;
+}
+
+void expect_online_eq(const hap::stats::OnlineStats& a, const hap::stats::OnlineStats& b) {
+    const auto sa = a.state();
+    const auto sb = b.state();
+    EXPECT_EQ(sa.n, sb.n);
+    EXPECT_EQ(sa.mean, sb.mean);
+    EXPECT_EQ(sa.m2, sb.m2);
+    EXPECT_EQ(sa.min, sb.min);
+    EXPECT_EQ(sa.max, sb.max);
+}
+
+// Field-by-field bitwise equality of the full accumulator state — the
+// contract that makes resumed merges byte-identical.
+void expect_replication_eq(const ReplicationResult& a, const ReplicationResult& b) {
+    EXPECT_EQ(a.run_id, b.run_id);
+    expect_online_eq(a.delay, b.delay);
+    const auto na = a.number.state();
+    const auto nb = b.number.state();
+    EXPECT_EQ(na.last_time, nb.last_time);
+    EXPECT_EQ(na.value, nb.value);
+    EXPECT_EQ(na.total_time, nb.total_time);
+    EXPECT_EQ(na.area, nb.area);
+    EXPECT_EQ(na.area2, nb.area2);
+    EXPECT_EQ(na.max, nb.max);
+    const auto ba = a.busy.state();
+    const auto bb = b.busy.state();
+    expect_online_eq(hap::stats::OnlineStats::from_state(ba.busy),
+                     hap::stats::OnlineStats::from_state(bb.busy));
+    expect_online_eq(hap::stats::OnlineStats::from_state(ba.idle),
+                     hap::stats::OnlineStats::from_state(bb.idle));
+    expect_online_eq(hap::stats::OnlineStats::from_state(ba.heights),
+                     hap::stats::OnlineStats::from_state(bb.heights));
+    EXPECT_EQ(ba.last_event_time, bb.last_event_time);
+    EXPECT_EQ(ba.period_start, bb.period_start);
+    EXPECT_EQ(ba.busy_time_total, bb.busy_time_total);
+    EXPECT_EQ(ba.observed_total, bb.observed_total);
+    EXPECT_EQ(ba.in_busy, bb.in_busy);
+    EXPECT_EQ(ba.current_height, bb.current_height);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.departures, b.departures);
+    EXPECT_EQ(a.losses, b.losses);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.observed_time, b.observed_time);
+    EXPECT_EQ(a.delays, b.delays);
+}
+
+TEST(Checkpoint, ReplicationRoundTripIsExact) {
+    Scenario sc = small_scenario("test.ckpt.roundtrip", 1);
+    sc.record_delays = true;
+    hap::sim::RandomStream rng = sc.stream(0);
+    const ReplicationResult r = ExperimentRunner::simulate_hap(sc, 0, rng);
+    ASSERT_GT(r.delay.count(), 0u);
+
+    // Serialize, re-parse the dumped text, restore: every accumulator field
+    // must survive bit for bit (shortest-round-trip doubles).
+    const Json parsed = Json::parse(replication_to_json(r).dump(0));
+    expect_replication_eq(replication_from_json(parsed), r);
+}
+
+TEST(Checkpoint, EmptyReplicationRoundTripsInfinitySentinels) {
+    // A fresh accumulator carries +-Inf min/max sentinels; JSON has no Inf,
+    // so the serializer omits them and the reader restores the defaults.
+    const ReplicationResult empty;
+    const Json parsed = Json::parse(replication_to_json(empty).dump(0));
+    expect_replication_eq(replication_from_json(parsed), empty);
+}
+
+TEST(Checkpoint, JsonParseRoundTrips) {
+    Json doc = Json::object();
+    doc.set("s", Json::string("quote \" backslash \\ newline \n tab \t"));
+    doc.set("i", Json::integer(std::int64_t{-42}));
+    doc.set("d", Json::number(0.1 + 0.2));
+    Json arr = Json::array();
+    arr.add(Json::boolean(true));
+    arr.add(Json::null());
+    arr.add(Json::number(1e-300));
+    doc.set("a", std::move(arr));
+
+    const Json back = Json::parse(doc.dump(2));
+    EXPECT_EQ(back.at("s").as_string(), doc.at("s").as_string());
+    EXPECT_EQ(back.at("i").as_int(), -42);
+    EXPECT_EQ(back.at("d").as_number(), 0.1 + 0.2);  // exact round trip
+    EXPECT_TRUE(back.at("a").items()[0].as_bool());
+    EXPECT_TRUE(back.at("a").items()[1].is_null());
+    EXPECT_EQ(back.at("a").items()[2].as_number(), 1e-300);
+
+    EXPECT_THROW((void)Json::parse("{\"unterminated\": "), std::invalid_argument);
+    EXPECT_THROW((void)Json::parse("{} trailing"), std::invalid_argument);
+    EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+}
+
+TEST(Checkpoint, WriterReaderLatestWins) {
+    const std::string path = temp_path("ckpt_rw.jsonl");
+    Scenario sc = small_scenario("test.ckpt.rw", 2);
+    hap::sim::RandomStream rng0 = sc.stream(0);
+    hap::sim::RandomStream rng1 = sc.stream(1);
+    const ReplicationResult r0 = ExperimentRunner::simulate_hap(sc, 0, rng0);
+    const ReplicationResult r1 = ExperimentRunner::simulate_hap(sc, 1, rng1);
+    {
+        CheckpointWriter w(path, "cfg=test");
+        w.record_result(sc.name, 0, r0);  // stale snapshot, superseded below
+        w.record_result(sc.name, 1, r1);
+        w.record_failure(sc.name, 0, "simulate", "boom");  // latest for rep 0
+    }
+    const CheckpointData data = read_checkpoint(path);
+    EXPECT_EQ(data.config, "cfg=test");
+    ASSERT_EQ(data.entries.size(), 3u);
+    const CheckpointEntry* e0 = data.find(sc.name, 0);
+    ASSERT_NE(e0, nullptr);
+    EXPECT_TRUE(e0->failed);  // latest record wins
+    EXPECT_EQ(e0->stage, "simulate");
+    EXPECT_EQ(e0->what, "boom");
+    const CheckpointEntry* e1 = data.find(sc.name, 1);
+    ASSERT_NE(e1, nullptr);
+    EXPECT_FALSE(e1->failed);
+    expect_replication_eq(e1->result, r1);
+    EXPECT_EQ(data.find(sc.name, 7), nullptr);
+    EXPECT_EQ(data.find("other", 0), nullptr);
+}
+
+TEST(Checkpoint, TornTrailingLineIsDroppedCorruptionThrows) {
+    const std::string path = temp_path("ckpt_torn.jsonl");
+    const Scenario sc = small_scenario("test.ckpt.torn", 1);
+    {
+        CheckpointWriter w(path, "cfg");
+        w.record_failure(sc.name, 0, "simulate", "x");
+    }
+    // A crash mid-record leaves an unterminated, unparseable tail; the
+    // reader keeps everything before it.
+    {
+        std::FILE* f = std::fopen(path.c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"scenario\":\"test.ckpt.torn\",\"rep", f);
+        (void)std::fclose(f);
+    }
+    const CheckpointData data = read_checkpoint(path);
+    ASSERT_EQ(data.entries.size(), 1u);
+    EXPECT_TRUE(data.entries[0].failed);
+
+    // The same garbage WITH a newline is interior corruption, not a torn
+    // tail, and must be loud.
+    {
+        std::FILE* f = std::fopen(path.c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"scenario\":\"test.ckpt.torn\",\"rep\n", f);
+        (void)std::fclose(f);
+    }
+    EXPECT_THROW((void)read_checkpoint(path), std::runtime_error);
+
+    const std::string bad_header = temp_path("ckpt_badheader.jsonl");
+    ASSERT_TRUE(atomic_write_file(bad_header, "{\"schema\":\"wrong/v9\"}\n"));
+    EXPECT_THROW((void)read_checkpoint(bad_header), std::runtime_error);
+
+    // Missing file: a fresh start, not an error.
+    const CheckpointData fresh = read_checkpoint(temp_path("ckpt_missing.jsonl"));
+    EXPECT_TRUE(fresh.entries.empty());
+    EXPECT_TRUE(fresh.config.empty());
+}
+
+TEST(Checkpoint, AtomicWriteReplacesAndCleansUp) {
+    const std::string path = temp_path("atomic.txt");
+    ASSERT_TRUE(atomic_write_file(path, "first\n"));
+    std::string text;
+    ASSERT_TRUE(read_file(path, text));
+    EXPECT_EQ(text, "first\n");
+    ASSERT_TRUE(atomic_write_file(path, "second\n"));
+    ASSERT_TRUE(read_file(path, text));
+    EXPECT_EQ(text, "second\n");
+    EXPECT_FALSE(read_file(path + ".tmp", text));  // no debris
+}
+
+TEST(Checkpoint, InjectedWriteAbortLeavesOldContentIntact) {
+    const std::string path = temp_path("atomic_abort.json");
+    ASSERT_TRUE(atomic_write_file(path, "precious\n"));
+
+    set_fault_plan(FaultPlan::parse("write@atomic_abort"));
+    EXPECT_FALSE(atomic_write_file(path, "half-written replacement that must never land\n"));
+    JsonWriter writer("test.bench");
+    EXPECT_FALSE(writer.write_file(path));
+    set_fault_plan(FaultPlan{});
+
+    // The abort happened mid-stream on the temp file: the visible file still
+    // holds the old bytes and the partial temp file was unlinked.
+    std::string text;
+    ASSERT_TRUE(read_file(path, text));
+    EXPECT_EQ(text, "precious\n");
+    EXPECT_FALSE(read_file(path + ".tmp", text));
+
+    // With the plan cleared the same write goes through.
+    ASSERT_TRUE(writer.write_file(path));
+    ASSERT_TRUE(read_file(path, text));
+    EXPECT_NE(text.find("hap.bench.result/v1"), std::string::npos);
+}
+
+TEST(Checkpoint, ResumedSweepMergesBitIdenticalToUninterrupted) {
+    const std::string path = temp_path("ckpt_resume.jsonl");
+    const std::vector<Scenario> grid{small_scenario("test.ckpt.resume.a", 4),
+                                     small_scenario("test.ckpt.resume.b", 4)};
+    const ExperimentRunner runner(4);
+    const ContainedSweep uninterrupted = runner.run_all_contained(grid);
+
+    // "Kill" mid-sweep: run scenario a fully and only the first two
+    // replications of b, checkpointing as we go.
+    {
+        std::vector<Scenario> partial = grid;
+        partial[1].replications = 2;
+        CheckpointWriter writer(path, "cfg=resume");
+        ContainOptions copts;
+        copts.checkpoint = &writer;
+        (void)runner.run_all_contained(partial, copts);
+    }
+
+    // Resume the full grid: checkpointed jobs are restored, the rest run
+    // live, and the merged output matches the uninterrupted sweep bit for
+    // bit.
+    const CheckpointData data = read_checkpoint(path);
+    EXPECT_EQ(data.config, "cfg=resume");
+    EXPECT_EQ(data.entries.size(), 6u);
+    ContainedSweep resumed;
+    {
+        CheckpointWriter writer(path, "cfg=resume");
+        ContainOptions copts;
+        copts.checkpoint = &writer;
+        copts.resume = &data;
+        resumed = runner.run_all_contained(grid, copts);
+    }
+    ASSERT_EQ(resumed.merged.size(), uninterrupted.merged.size());
+    EXPECT_TRUE(resumed.failures.empty());
+    EXPECT_EQ(resumed.survivors, uninterrupted.survivors);
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+        EXPECT_EQ(resumed.merged[s].delay.mean(), uninterrupted.merged[s].delay.mean());
+        EXPECT_EQ(resumed.merged[s].delay.variance(),
+                  uninterrupted.merged[s].delay.variance());
+        EXPECT_EQ(resumed.merged[s].number.mean(), uninterrupted.merged[s].number.mean());
+        EXPECT_EQ(resumed.merged[s].busy.busy_fraction(),
+                  uninterrupted.merged[s].busy.busy_fraction());
+        EXPECT_EQ(resumed.merged[s].arrivals, uninterrupted.merged[s].arrivals);
+        EXPECT_EQ(resumed.merged[s].events, uninterrupted.merged[s].events);
+        EXPECT_EQ(resumed.merged[s].delay_mean.mean,
+                  uninterrupted.merged[s].delay_mean.mean);
+        EXPECT_EQ(resumed.merged[s].delay_mean.half_width,
+                  uninterrupted.merged[s].delay_mean.half_width);
+        EXPECT_EQ(resumed.merged[s].throughput.mean,
+                  uninterrupted.merged[s].throughput.mean);
+    }
+
+    // After the resumed pass the checkpoint covers every job exactly once.
+    const CheckpointData final_data = read_checkpoint(path);
+    EXPECT_EQ(final_data.entries.size(), 8u);
+    for (const Scenario& sc : grid)
+        for (std::uint64_t rep = 0; rep < sc.replications; ++rep)
+            EXPECT_NE(final_data.find(sc.name, rep), nullptr) << sc.name << " " << rep;
+}
+
+TEST(Checkpoint, ResumeRestoresRecordedFailures) {
+    const std::string path = temp_path("ckpt_failres.jsonl");
+    const std::vector<Scenario> grid{small_scenario("test.ckpt.failres", 3)};
+    const ExperimentRunner runner(2);
+
+    ContainedSweep first;
+    {
+        set_fault_plan(FaultPlan::parse("throw@test.ckpt.failres#1"));
+        CheckpointWriter writer(path, "cfg");
+        ContainOptions copts;
+        copts.checkpoint = &writer;
+        first = runner.run_all_contained(grid, copts);
+        set_fault_plan(FaultPlan{});
+    }
+    ASSERT_EQ(first.failures.size(), 1u);
+
+    // A later resume — with no fault plan active — still reports the
+    // checkpointed failure verbatim instead of silently re-running it.
+    const CheckpointData data = read_checkpoint(path);
+    ContainOptions copts;
+    copts.resume = &data;
+    const ContainedSweep resumed = runner.run_all_contained(grid, copts);
+    ASSERT_EQ(resumed.failures.size(), 1u);
+    EXPECT_EQ(resumed.failures.front().scenario, first.failures.front().scenario);
+    EXPECT_EQ(resumed.failures.front().run_id, first.failures.front().run_id);
+    EXPECT_EQ(resumed.failures.front().stage, first.failures.front().stage);
+    EXPECT_EQ(resumed.failures.front().what, first.failures.front().what);
+    EXPECT_EQ(resumed.survivors, first.survivors);
+    EXPECT_EQ(resumed.merged[0].delay.mean(), first.merged[0].delay.mean());
+}
+
+}  // namespace

@@ -10,10 +10,13 @@ check-interval quantization, where a count can only move in steps of
 check_every/2 = 5 sweeps). Wall-clock fields are ignored.
 
 usage: bench_compare.py BASELINE CURRENT [--max-regress 0.10] [--min-slack 10]
+                        [--allow-missing]
 
-Exit status: 0 = no regressions, 1 = regressions found, 2 = unusable input.
-The CI job runs this with continue-on-error, so a red result annotates the
-run without gating the merge.
+Exit status: 0 = no regressions, 1 = regressions found, 2 = unusable input
+(missing file, bad JSON, wrong schema, malformed points). --allow-missing
+downgrades a missing BASELINE to a note + exit 0, for benches that have no
+recorded baseline yet. The CI job runs this with continue-on-error, so a red
+result annotates the run without gating the merge.
 """
 
 import argparse
@@ -23,20 +26,41 @@ import sys
 SCHEMA = "hap.bench.result/v1"
 
 
-def load(path):
+def die(message):
+    """Unusable input: clear one-line message on stderr, exit 2 (never a
+    traceback)."""
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path, allow_missing=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        if allow_missing:
+            return None
+        die(f"cannot read {path}: file not found "
+            f"(use --allow-missing for a bench with no baseline yet)")
     except (OSError, ValueError) as err:
-        sys.exit(f"bench_compare: cannot read {path}: {err}")
+        die(f"cannot read {path}: {err}")
+    if not isinstance(doc, dict):
+        die(f"{path}: expected a JSON object, got {type(doc).__name__}")
     if doc.get("schema") != SCHEMA:
-        sys.exit(f"bench_compare: {path}: expected schema {SCHEMA!r}, "
-                 f"got {doc.get('schema')!r}")
+        die(f"{path}: expected schema {SCHEMA!r}, got {doc.get('schema')!r}")
     return doc
 
 
-def points_by_label(doc):
-    return {p["label"]: p for p in doc.get("points", [])}
+def points_by_label(doc, path):
+    points = doc.get("points", [])
+    if not isinstance(points, list):
+        die(f"{path}: \"points\" is not an array")
+    out = {}
+    for i, p in enumerate(points):
+        if not isinstance(p, dict) or not isinstance(p.get("label"), str):
+            die(f"{path}: points[{i}] has no string \"label\"")
+        out[p["label"]] = p
+    return out
 
 
 def main():
@@ -49,9 +73,16 @@ def main():
     ap.add_argument("--min-slack", type=float, default=10,
                     help="absolute sweep-count increase always tolerated "
                          "(default 10, one check interval)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="treat a missing BASELINE file as \"new bench, "
+                         "nothing to compare\" and exit 0")
     args = ap.parse_args()
 
-    base = load(args.baseline)
+    base = load(args.baseline, allow_missing=args.allow_missing)
+    if base is None:
+        print(f"baseline {args.baseline} missing; new bench, nothing to "
+              f"compare (--allow-missing)")
+        return 0
     cur = load(args.current)
 
     if base.get("warm_enabled") != cur.get("warm_enabled"):
@@ -62,7 +93,9 @@ def main():
     improvements = []
 
     def check(label, field, old, new):
-        if old is None or new is None:
+        # Tolerate malformed/missing fields (a truncated run, a hand-edited
+        # doc): skip them rather than die on a TypeError mid-comparison.
+        if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
             return
         if new > old + max(args.min_slack, args.max_regress * old):
             regressions.append((label, field, old, new))
@@ -72,8 +105,8 @@ def main():
     for field in ("iterations_cold", "iterations_warm"):
         check("<total>", field, base.get(field), cur.get(field))
 
-    base_pts = points_by_label(base)
-    cur_pts = points_by_label(cur)
+    base_pts = points_by_label(base, args.baseline)
+    cur_pts = points_by_label(cur, args.current)
     shared = sorted(base_pts.keys() & cur_pts.keys())
     for label in shared:
         for field in ("cold_sweeps", "warm_sweeps"):
@@ -86,7 +119,7 @@ def main():
 
     ratio_old = base.get("iteration_ratio")
     ratio_new = cur.get("iteration_ratio")
-    if ratio_old is not None and ratio_new is not None:
+    if isinstance(ratio_old, (int, float)) and isinstance(ratio_new, (int, float)):
         print(f"iteration ratio: baseline {ratio_old:.2f}x -> "
               f"current {ratio_new:.2f}x")
 

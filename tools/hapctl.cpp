@@ -17,12 +17,23 @@
 //                   [--reps N] [--horizon T] [--warmup T] [--seed S]
 //                   [--threads N] [--buffer K] [--json FILE] [--metrics]
 //                   [--analytic] [--warm-start 0|1] [--trunc-tol E] [--tol E]
+//                   [--checkpoint FILE [--resume]] [--fault-inject SPEC]
+//                   [--budget-iters N] [--budget-states N] [--budget-wall-ms T]
 //       replicated simulation over a parameter grid, fanned across the
 //       experiment thread pool; SPEC is "a,b,c" or "lo:hi:step". --metrics
 //       appends the "hap.obs.metrics/v1" telemetry block to the JSON.
 //       --analytic solves the grid with Solution 0 instead, in lambda order
 //       as a warm-started continuation chain on adaptively grown boxes
 //       (--warm-start, default 1, turns the engine off for A/B comparison).
+//       Execution is fault-contained: a failing (scenario, rep) job becomes
+//       one record of the "failures" block instead of aborting the sweep
+//       (exit stays 0 unless EVERY job failed). --checkpoint appends each
+//       finished job to FILE (crash-safe JSONL, schema "hap.ckpt/v1");
+//       --resume restores completed jobs from it and re-runs only the rest —
+//       the merged output is byte-identical to an uninterrupted run.
+//       --fault-inject (or HAP_FAULT_INJECT) injects deterministic faults,
+//       e.g. "throw@lambda=0.5#1,nan@lambda=1"; --budget-* caps Solution 0
+//       work per point (see core/budget.hpp).
 //   hapctl metrics-dump [model flags] [--horizon T] [--reps N] [--solve0]
 //       run a representative slice of the solver/simulation stack with the
 //       observability registry enabled and print the text report.
@@ -30,7 +41,9 @@
 // Model flags (defaults = the paper's Section-4 baseline):
 //   --lambda --mu --lambda1 --mu1 --l --lambda2 --m --service
 //   --max-users --max-apps (admission bounds, 0 = unbounded)
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,8 +110,19 @@ int cmd_analyze(const cli::Flags& f) {
     return 0;
 }
 
+// Shared --budget-* parsing (see core/budget.hpp for semantics).
+core::SolveBudget budget_from_flags(const cli::Flags& f) {
+    core::SolveBudget b;
+    b.max_iterations = f.count("budget-iters", 0);
+    b.max_states = f.count("budget-states", 0);
+    b.wall_ms = static_cast<std::uint64_t>(f.count("budget-wall-ms", 0));
+    return b;
+}
+
 int cmd_solve0(const cli::Flags& f) {
-    f.reject_unknown(with(kModelFlags, {"zmax", "sweeps", "tol", "verbose"}));
+    f.reject_unknown(with(kModelFlags, {"zmax", "sweeps", "tol", "verbose",
+                                        "budget-iters", "budget-states",
+                                        "budget-wall-ms"}));
     const core::HapParams p = model_from_flags(f);
     core::Solution0Options o;
     o.max_messages = f.count("zmax", 0);
@@ -106,12 +130,14 @@ int cmd_solve0(const cli::Flags& f) {
     o.tol = f.number("tol", 1e-8);
     o.verbose = f.has("verbose");
     o.check_every = 100;
+    o.budget = budget_from_flags(f);
     const auto s0 = solve_solution0(p, o);
     std::printf("Solution 0: delay %.5f s, sigma %.4f, utilization %.4f\n",
                 s0.mean_delay, s0.sigma, s0.utilization);
-    std::printf("            %zu states, %zu sweeps, %s, boundary mass %.2e\n",
+    std::printf("            %zu states, %zu sweeps, %s, boundary mass %.2e%s\n",
                 s0.states, s0.sweeps, s0.converged ? "converged" : "NOT converged",
-                s0.truncation_mass);
+                s0.truncation_mass,
+                s0.budget_exhausted ? "  (budget exhausted)" : "");
     std::printf("(mean delay grows with --zmax on heavy-tailed workloads; see\n"
                 " bench/ablation_truncation)\n");
     return s0.converged ? 0 : 1;
@@ -208,6 +234,7 @@ int cmd_sweep_analytic(const cli::Flags& f, bool metrics) {
     opts.solver.max_messages = f.count("zmax", 0);
     opts.solver.max_sweeps = f.count("sweeps", 8000);
     opts.solver.check_every = 10;
+    opts.solver.budget = budget_from_flags(f);
 
     experiment::JsonWriter json("hapctl_sweep_analytic");
     json.meta("warm_start", experiment::Json::boolean(opts.warm_start));
@@ -217,6 +244,7 @@ int cmd_sweep_analytic(const cli::Flags& f, bool metrics) {
     std::printf("%10s %10s %8s %12s %8s %8s %10s %6s\n", "service", "lam-scale",
                 "rho", "delay T", "util", "sweeps", "states", "warm");
     int rc = 0;
+    std::vector<experiment::FailureRecord> failures;
     for (double service : args.services) {
         std::vector<experiment::AnalyticPoint> grid;
         for (double scale : args.lambda_scales) {
@@ -234,16 +262,26 @@ int cmd_sweep_analytic(const cli::Flags& f, bool metrics) {
             pt.coord = scale;
             grid.push_back(std::move(pt));
         }
-        const auto results = experiment::run_analytic_sweep(grid, opts);
+        const auto results = experiment::run_analytic_sweep(grid, opts, &failures);
         for (std::size_t i = 0; i < results.size(); ++i) {
-            const auto& s0 = results[i].s0;
+            const auto& pr = results[i];
+            const auto& s0 = pr.s0;
             const double lbar = grid[i].params.mean_message_rate();
             if (!s0.converged) rc = 1;
+            char note[96] = "";
+            if (pr.quality != "ok") {
+                std::snprintf(note, sizeof(note), "  %s (%zu fallback hops)",
+                              pr.quality.c_str(), pr.fallback_hops);
+            } else if (pr.fallback_hops > 0) {
+                std::snprintf(note, sizeof(note), "  recovered (%zu fallback hops)",
+                              pr.fallback_hops);
+            } else if (!s0.converged) {
+                std::snprintf(note, sizeof(note), "  NOT converged");
+            }
             std::printf("%10.3f %10.3f %8.3f %12.5f %8.4f %8zu %10zu %6s%s\n",
                         service, args.lambda_scales[i], lbar / service, s0.mean_delay,
                         s0.utilization, s0.sweeps, s0.states,
-                        s0.warm_started ? "yes" : "no",
-                        s0.converged ? "" : "  NOT converged");
+                        s0.warm_started ? "yes" : "no", note);
 
             experiment::Json point = experiment::JsonWriter::point(results[i].name);
             experiment::Json params = experiment::Json::object();
@@ -265,9 +303,20 @@ int cmd_sweep_analytic(const cli::Flags& f, bool metrics) {
             m.set("warm_started", experiment::Json::boolean(s0.warm_started));
             m.set("converged", experiment::Json::boolean(s0.converged));
             point.set("solution0", std::move(m));
+            // Fault-tolerance annotations only on affected points, so a clean
+            // sweep's document is byte-identical to pre-containment output.
+            if (pr.quality != "ok" || pr.fallback_hops > 0) {
+                point.set("quality", experiment::Json::string(pr.quality));
+                point.set("fallback_hops",
+                          experiment::Json::integer(
+                              static_cast<std::uint64_t>(pr.fallback_hops)));
+                if (!pr.error.empty())
+                    point.set("error", experiment::Json::string(pr.error));
+            }
             json.add_point(std::move(point));
         }
     }
+    if (!failures.empty()) json.failures_block(experiment::failures_block_json(failures));
     if (metrics)
         json.metrics_block(experiment::obs_metrics_json(obs::registry().snapshot()));
     const std::string out = f.text("json", "");
@@ -285,12 +334,17 @@ int cmd_sweep(const cli::Flags& f) {
     f.reject_unknown(with(kModelFlags,
                           {"service-grid", "lambda-grid", "reps", "horizon", "warmup",
                            "seed", "threads", "buffer", "json", "metrics", "analytic",
-                           "warm-start", "trunc-tol", "tol", "zmax", "sweeps"}));
+                           "warm-start", "trunc-tol", "tol", "zmax", "sweeps",
+                           "checkpoint", "resume", "fault-inject", "budget-iters",
+                           "budget-states", "budget-wall-ms"}));
     // --metrics (or HAP_BENCH_METRICS) turns on the observability registry:
     // per-replication telemetry plus a labeled analytic solve per grid point,
     // all appended to the JSON document as the "metrics" block.
     const bool metrics = f.has("metrics") || obs::enabled();
     if (metrics) obs::set_enabled(true);
+    // --fault-inject overrides the HAP_FAULT_INJECT environment plan.
+    if (f.has("fault-inject"))
+        experiment::set_fault_plan(experiment::FaultPlan::parse(f.text("fault-inject", "")));
     // --analytic switches the whole sweep to Solution 0 with the continuation
     // engine; --warm-start defaults on there (simulation sweeps have no
     // iterate to carry, so the flag is analytic-only).
@@ -345,7 +399,47 @@ int cmd_sweep(const cli::Flags& f) {
     const experiment::ExperimentRunner runner(f.count("threads", 0));
     std::printf("sweep: %zu grid points x %zu replications on %zu threads\n\n",
                 grid.size(), reps, runner.threads());
-    const std::vector<experiment::MergedResult> results = runner.run_all(grid);
+
+    // Crash-safe checkpointing. The config fingerprint pins the job set and
+    // the RNG identity; --resume refuses a checkpoint written for a different
+    // sweep instead of silently merging alien replications.
+    char fingerprint[256];
+    std::snprintf(fingerprint, sizeof(fingerprint),
+                  "hapctl-sweep;services=%s;lambdas=%s;reps=%zu;horizon=%g;"
+                  "warmup=%g;buffer=%zu;seed=%llu",
+                  f.text("service-grid", "default").c_str(),
+                  f.text("lambda-grid", "default").c_str(), reps, horizon, warmup,
+                  f.count("buffer", 0),
+                  static_cast<unsigned long long>(
+                      grid.empty() ? experiment::kDefaultMasterSeed
+                                   : grid.front().master_seed));
+    const std::string ckpt_path = f.text("checkpoint", "");
+    if (f.has("resume") && ckpt_path.empty())
+        throw std::invalid_argument("--resume requires --checkpoint FILE");
+    experiment::CheckpointData ckpt_data;
+    std::optional<experiment::CheckpointWriter> ckpt_writer;
+    experiment::ContainOptions copts;
+    if (!ckpt_path.empty()) {
+        if (f.has("resume")) {
+            ckpt_data = experiment::read_checkpoint(ckpt_path);
+            if (!ckpt_data.config.empty() && ckpt_data.config != fingerprint) {
+                throw std::runtime_error("checkpoint " + ckpt_path +
+                                         " was written for a different sweep (config \"" +
+                                         ckpt_data.config + "\")");
+            }
+            if (!ckpt_data.entries.empty())
+                std::printf("resuming: %zu checkpointed jobs restored from %s\n",
+                            ckpt_data.entries.size(), ckpt_path.c_str());
+            copts.resume = &ckpt_data;
+        } else {
+            std::remove(ckpt_path.c_str());  // fresh sweep, fresh checkpoint
+        }
+        ckpt_writer.emplace(ckpt_path, fingerprint);
+        copts.checkpoint = &*ckpt_writer;
+    }
+
+    const experiment::ContainedSweep sweep = runner.run_all_contained(grid, copts);
+    const std::vector<experiment::MergedResult>& results = sweep.merged;
 
     experiment::JsonWriter json("hapctl_sweep");
     json.meta("threads", experiment::Json::integer(
@@ -359,13 +453,17 @@ int cmd_sweep(const cli::Flags& f) {
         const double scale = lambda_scales[i % lambda_scales.size()];
         const auto& m = results[i];
         const double lbar = grid[i].params.mean_message_rate();
-        char delay_ci[48], number_ci[48];
+        char delay_ci[48], number_ci[48], note[80] = "";
         std::snprintf(delay_ci, sizeof(delay_ci), "%.4f+-%.4f", m.delay_mean.mean,
                       m.delay_mean.half_width);
         std::snprintf(number_ci, sizeof(number_ci), "%.3f+-%.3f", m.number_mean.mean,
                       m.number_mean.half_width);
-        std::printf("%10.3f %10.3f %12.4f %8.3f %22s %22s %8.3f\n", service, scale,
-                    lbar, lbar / service, delay_ci, number_ci, m.utilization.mean);
+        if (sweep.survivors[i] < reps)
+            std::snprintf(note, sizeof(note), "  (%zu/%zu reps survived)",
+                          sweep.survivors[i], reps);
+        std::printf("%10.3f %10.3f %12.4f %8.3f %22s %22s %8.3f%s\n", service, scale,
+                    lbar, lbar / service, delay_ci, number_ci, m.utilization.mean,
+                    note);
 
         if (metrics) {
             // Labeled analytic cross-check: the gm1/solution2 records carry
@@ -383,9 +481,22 @@ int cmd_sweep(const cli::Flags& f) {
         params.set("rho", experiment::Json::number(lbar / service));
         point.set("params", std::move(params));
         point.set("metrics", experiment::metrics_json(m));
+        // Degradation annotation only on points that lost replications, so a
+        // fault-free document is byte-identical to pre-containment output.
+        if (sweep.survivors[i] < reps) {
+            point.set("survivors",
+                      experiment::Json::integer(
+                          static_cast<std::uint64_t>(sweep.survivors[i])));
+            point.set("quality", experiment::Json::string("degraded"));
+        }
         json.add_point(std::move(point));
     }
 
+    if (!sweep.failures.empty()) {
+        std::printf("\n%zu job(s) failed (see the \"failures\" block)\n",
+                    sweep.failures.size());
+        json.failures_block(experiment::failures_block_json(sweep.failures));
+    }
     if (metrics) {
         json.metrics_block(
             experiment::obs_metrics_json(obs::registry().snapshot()));
@@ -489,8 +600,13 @@ void usage() {
         "  hapctl sweep     [model flags] [--service-grid SPEC --lambda-grid SPEC]\n"
         "                   [--reps N --threads N --horizon T --json FILE --metrics]\n"
         "                   [--analytic [--warm-start 0|1 --trunc-tol E --tol E]]\n"
+        "                   [--checkpoint FILE [--resume]] [--fault-inject SPEC]\n"
+        "                   [--budget-iters N --budget-states N --budget-wall-ms T]\n"
         "                   (SPEC: \"a,b,c\" or \"lo:hi:step\"; --analytic runs\n"
-        "                   Solution 0 as a warm-started continuation chain)\n"
+        "                   Solution 0 as a warm-started continuation chain;\n"
+        "                   failures are contained per job into a \"failures\"\n"
+        "                   block, and --checkpoint/--resume make sweeps\n"
+        "                   crash-safe — see README \"Fault tolerance & resume\")\n"
         "  hapctl metrics-dump [model flags] [--horizon T --reps N --solve0]\n"
         "                   solver-telemetry text report (see DESIGN.md 4e)\n\n"
         "model flags (defaults = paper baseline):\n"
