@@ -30,6 +30,27 @@ std::uint64_t telemetry_iterations() {
     return total;
 }
 
+// Sweep-kernel telemetry aggregated per grid point: wall time inside the
+// sweep loops and the state-update throughput they sustained (states/sec is
+// the sweep-time-weighted mean across the point's solves).
+struct KernelSummary {
+    double sweep_s = 0.0;
+    double states_per_sec = 0.0;
+};
+
+KernelSummary kernel_summary(const hap::obs::MetricsSnapshot& snap,
+                             const std::string& label) {
+    KernelSummary out;
+    double weighted = 0.0;
+    for (const auto& t : snap.solvers) {
+        if (t.label != label || t.sweep_time_s <= 0.0) continue;
+        out.sweep_s += t.sweep_time_s;
+        weighted += t.states_per_sec * t.sweep_time_s;
+    }
+    if (out.sweep_s > 0.0) out.states_per_sec = weighted / out.sweep_s;
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,6 +105,7 @@ int main(int argc, char** argv) {
     hap::obs::registry().reset();
     const auto warm_res = run_analytic_sweep(grid, warm);
     const std::uint64_t warm_iters = telemetry_iterations();
+    const auto warm_snap = hap::obs::registry().snapshot();
 
     JsonWriter json("solver_continuation");
     std::printf("%-20s %11s %11s %7s %5s %10s %10s\n", "point", "cold.sweeps",
@@ -120,6 +142,14 @@ int main(int argc, char** argv) {
         pt.set("utilization", Json::number(w.utilization));
         pt.set("delay_rel_delta", Json::number(dd));
         pt.set("util_rel_delta", Json::number(du));
+        // Per-point sweep-kernel timing from the warm leg's telemetry.
+        // Informational only — bench_compare reports but never gates on
+        // wall-clock-derived fields.
+        const KernelSummary ks = kernel_summary(warm_snap, cold_res[i].name);
+        if (ks.sweep_s > 0.0) {
+            pt.set("sweep_s", Json::number(ks.sweep_s));
+            pt.set("states_per_sec", Json::number(ks.states_per_sec));
+        }
         json.add_point(pt);
     }
 
@@ -143,6 +173,19 @@ int main(int argc, char** argv) {
     json.meta("grid_points", Json::integer(static_cast<std::uint64_t>(npoints)));
     json.meta("worst_delay_delta", Json::number(worst_delay));
     json.meta("worst_util_delta", Json::number(worst_util));
+    double total_sweep_s = 0.0;
+    double total_weighted = 0.0;
+    for (const auto& t : warm_snap.solvers) {
+        if (t.sweep_time_s <= 0.0) continue;
+        total_sweep_s += t.sweep_time_s;
+        total_weighted += t.states_per_sec * t.sweep_time_s;
+    }
+    if (total_sweep_s > 0.0) {
+        std::printf("sweep-kernel throughput: %.3g states/sec over %.3f s in kernels\n",
+                    total_weighted / total_sweep_s, total_sweep_s);
+        json.meta("states_per_sec", Json::number(total_weighted / total_sweep_s));
+        json.meta("sweep_s_total", Json::number(total_sweep_s));
+    }
     hap::bench::finish_json(json, hap::bench::json_path(argc, argv));
 
     // Exit code reflects *correctness* (agreement + convergence); the

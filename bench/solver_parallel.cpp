@@ -1,0 +1,139 @@
+// CSR sweep-kernel bench on a Fig. 14-regime lattice: states/sec of the
+// natural-order serial Gauss-Seidel sweep against the graph-colored sweep at
+// 1 thread and at HAP_BENCH_THREADS, on the lumped modulating chain whose
+// red-black parity hint gives exactly two colors.
+//
+// Besides throughput, the run *verifies* the engine's central contract on
+// real data: the colored sweep must produce bit-identical iterates and
+// residuals at every thread count (the exit code gates on it, so CI's TSan
+// job doubles as a determinism check). HAP_BENCH_SCALE grows the lattice
+// (state count scales ~linearly); HAP_BENCH_THREADS sets the wide leg's
+// worker count. JSON output follows hap.bench.result/v1 with per-leg
+// sweep_s / states_per_sec, the fields tools/bench_compare.py reports
+// informationally (wall-clock numbers never gate).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hap_chain.hpp"
+#include "core/hap_params.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/sparse.hpp"
+
+namespace {
+
+constexpr std::size_t kSweeps = 60;
+
+struct LegResult {
+    std::string label;
+    double sweep_s = 0.0;
+    double states_per_sec = 0.0;
+    double residual = 0.0;           // residual of the final sweep
+    std::vector<double> pi;          // final iterate, for identity checks
+};
+
+double now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+LegResult run_leg(const hap::markov::Ctmc& c, const std::string& label,
+                  bool colored, std::size_t threads) {
+    const hap::markov::Csr& in = c.in_matrix();
+    const double* exit_rates = c.exit_rates().data();
+    const std::size_t n = c.num_states();
+    LegResult leg;
+    leg.label = label;
+    leg.pi.assign(n, 1.0 / static_cast<double>(n));
+    const double t0 = now_s();
+    for (std::size_t s = 0; s < kSweeps; ++s) {
+        leg.residual = colored
+                           ? hap::markov::gs_sweep_colored(in, exit_rates, c.coloring(),
+                                                           threads, leg.pi.data(), true)
+                           : hap::markov::gs_sweep_natural(in, exit_rates,
+                                                           leg.pi.data(), true);
+    }
+    leg.sweep_s = now_s() - t0;
+    leg.states_per_sec = leg.sweep_s > 0.0
+                             ? static_cast<double>(kSweeps) * static_cast<double>(n) /
+                                   leg.sweep_s
+                             : 0.0;
+    return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace hap::experiment;
+
+    hap::bench::header("solver_parallel",
+                       "CSR Gauss-Seidel kernel throughput: natural vs graph-colored");
+
+    // Fig. 14 regime: the congestion band of the paper's lumped chain. The
+    // base box is ~10^5 states; HAP_BENCH_SCALE grows the state count about
+    // linearly by widening both lattice dimensions.
+    const double dim_scale = std::sqrt(hap::bench::scale());
+    const std::size_t max_users = std::max<std::size_t>(
+        9, static_cast<std::size_t>(std::lround(99.0 * dim_scale)));
+    const std::size_t max_apps = std::max<std::size_t>(
+        29, static_cast<std::size_t>(std::lround(999.0 * dim_scale)));
+
+    const hap::core::HapParams params = hap::core::HapParams::paper_baseline(20.0);
+    hap::core::ChainBounds bounds;
+    bounds.max_users = max_users;
+    bounds.max_apps_total = max_apps;
+    const hap::core::LumpedChain chain(params, bounds);
+    const hap::markov::Ctmc& c = chain.ctmc();
+    const std::size_t n = c.num_states();
+    const std::uint32_t colors = c.coloring().num_colors;
+    const std::size_t wide = std::max<std::size_t>(2, hap::bench::threads());
+
+    std::printf("lattice: %zu states (%zu x %zu), %zu transitions, %u colors\n\n", n,
+                max_users + 1, max_apps + 1, c.num_transitions(), colors);
+
+    std::vector<LegResult> legs;
+    legs.push_back(run_leg(c, "natural", false, 1));
+    legs.push_back(run_leg(c, "colored.t1", true, 1));
+    char wide_label[32];
+    std::snprintf(wide_label, sizeof(wide_label), "colored.t%zu", wide);
+    legs.push_back(run_leg(c, wide_label, true, wide));
+
+    std::printf("%-14s %10s %16s %12s\n", "leg", "sweep_s", "states/sec", "residual");
+    for (const LegResult& leg : legs)
+        std::printf("%-14s %10.4f %16.3e %12.4e\n", leg.label.c_str(), leg.sweep_s,
+                    leg.states_per_sec, leg.residual);
+
+    // The contract under test: colored iterates and residuals are
+    // bit-identical at any thread count. (That natural and colored orders
+    // converge to the same fixed point is pinned on converged solves in
+    // tests/sparse_test.cpp — mid-iteration iterates legitimately differ.)
+    const bool identical = legs[1].pi == legs[2].pi &&
+                           legs[1].residual == legs[2].residual;
+    std::printf("\ncolored 1-vs-%zu-thread iterate: %s\n", wide,
+                identical ? "bit-identical" : "DIVERGED");
+
+    JsonWriter json("solver_parallel");
+    json.meta("states", Json::integer(static_cast<std::uint64_t>(n)));
+    json.meta("transitions", Json::integer(static_cast<std::uint64_t>(c.num_transitions())));
+    json.meta("colors", Json::integer(static_cast<std::uint64_t>(colors)));
+    json.meta("sweeps", Json::integer(static_cast<std::uint64_t>(kSweeps)));
+    json.meta("wide_threads", Json::integer(static_cast<std::uint64_t>(wide)));
+    json.meta("byte_identical", Json::boolean(identical));
+    for (const LegResult& leg : legs) {
+        Json pt = JsonWriter::point(leg.label);
+        pt.set("sweep_s", Json::number(leg.sweep_s));
+        pt.set("states_per_sec", Json::number(leg.states_per_sec));
+        pt.set("residual", Json::number(leg.residual));
+        json.add_point(pt);
+    }
+    hap::bench::finish_json(json, hap::bench::json_path(argc, argv));
+
+    const bool ok = identical && colors == 2;
+    if (!ok) std::printf("\nFAIL: colored sweep broke the determinism contract\n");
+    return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 // more about the sweep finishing than about replaying the exact failure.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 
@@ -43,6 +44,28 @@ struct SolveBudget {
     bool states_exceeded(std::size_t n) const noexcept {
         return max_states > 0 && n > max_states;
     }
+};
+
+// The wall-clock backstop of a solve budget, evaluated lazily at check
+// boundaries (one clock read per check, none when unarmed). Deterministic
+// budgets (iterations, states) are preferred; this exists so an operator can
+// bound a sweep's wall time no matter what. Shared by every solver that
+// honors SolveBudget::wall_ms.
+class WallDeadline {
+public:
+    explicit WallDeadline(std::uint64_t wall_ms) {
+        if (wall_ms > 0) {
+            armed_ = true;
+            deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(wall_ms);
+        }
+    }
+    bool expired() const {
+        return armed_ && std::chrono::steady_clock::now() >= deadline_;
+    }
+
+private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
 };
 
 }  // namespace hap::core

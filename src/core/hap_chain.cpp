@@ -77,6 +77,19 @@ LumpedChain::LumpedChain(const HapParams& params, const ChainBounds& bounds)
       x_hi_(lumped_shape(params, bounds).x_hi),
       y_hi_(lumped_shape(params, bounds).y_hi),
       ctmc_((x_hi_ - x_lo_ + 1) * (y_hi_ + 1)) {
+    build(params);
+}
+
+LumpedChain::LumpedChain(const HapParams& params, const ChainBounds& bounds,
+                         markov::CsrBuilder& builder)
+    : x_lo_(lumped_shape(params, bounds).x_lo),
+      x_hi_(lumped_shape(params, bounds).x_hi),
+      y_hi_(lumped_shape(params, bounds).y_hi),
+      ctmc_((x_hi_ - x_lo_ + 1) * (y_hi_ + 1), builder) {
+    build(params);
+}
+
+void LumpedChain::build(const HapParams& params) {
     if (!params.homogeneous_types()) {
         throw std::invalid_argument(
             "LumpedChain: requires homogeneous application types (paper Fig. 7); "
@@ -93,10 +106,16 @@ LumpedChain::LumpedChain(const HapParams& params, const ChainBounds& bounds)
     const bool dynamic_users = params.permanent_users == 0;
 
     arrival_rates_.assign(num_states(), 0.0);
+    // Every transition moves x or y by exactly one, so the lattice is
+    // bipartite on (x + y) parity: a perfect red-black 2-coloring for the
+    // parallel Gauss-Seidel sweep (greedy coloring cannot be trusted to
+    // find it from the index order alone).
+    std::vector<std::uint32_t> parity(num_states());
     for (std::size_t x = x_lo_; x <= x_hi_; ++x) {
         for (std::size_t y = 0; y <= y_hi_; ++y) {
             const std::size_t s = index(x, y);
             arrival_rates_[s] = static_cast<double>(y) * per_instance;
+            parity[s] = static_cast<std::uint32_t>((x + y) & 1u);
             if (dynamic_users) {
                 if (x < x_hi_) ctmc_.add_transition(s, index(x + 1, y), lambda);
                 if (x > 0) ctmc_.add_transition(s, index(x - 1, y), static_cast<double>(x) * mu);
@@ -106,6 +125,7 @@ LumpedChain::LumpedChain(const HapParams& params, const ChainBounds& bounds)
             if (y > 0) ctmc_.add_transition(s, index(x, y - 1), static_cast<double>(y) * mu1);
         }
     }
+    ctmc_.set_color_hint(std::move(parity));
     ctmc_.finalize();
 }
 
@@ -150,19 +170,23 @@ std::vector<double> LumpedChain::solve_direct() const {
         if (lev + 1 < nlev) a0[lev] = Matrix(ny, ny, 0.0);
         if (lev > 0) a2[lev] = Matrix(ny, ny, 0.0);
     }
-    for (const markov::Transition& t : ctmc_.edges()) {
-        const std::size_t lf = t.from / ny;
-        const std::size_t lt = t.to / ny;
-        const std::size_t yf = t.from % ny;
-        const std::size_t yt = t.to % ny;
-        if (lt == lf) {
-            a1[lf](yf, yt) += t.rate;
-        } else if (lt == lf + 1) {
-            a0[lf](yf, yt) += t.rate;
-        } else if (lf == lt + 1) {
-            a2[lf](yf, yt) += t.rate;
-        } else {
-            return {};  // |dx| > 1: not block tridiagonal
+    for (std::size_t from = 0; from < ctmc_.num_states(); ++from) {
+        const markov::Ctmc::OutEdges out = ctmc_.out_edges(from);
+        const std::size_t lf = from / ny;
+        const std::size_t yf = from % ny;
+        for (std::size_t e = 0; e < out.count; ++e) {
+            const std::size_t to = out.to[e];
+            const std::size_t lt = to / ny;
+            const std::size_t yt = to % ny;
+            if (lt == lf) {
+                a1[lf](yf, yt) += out.rate[e];
+            } else if (lt == lf + 1) {
+                a0[lf](yf, yt) += out.rate[e];
+            } else if (lf == lt + 1) {
+                a2[lf](yf, yt) += out.rate[e];
+            } else {
+                return {};  // |dx| > 1: not block tridiagonal
+            }
         }
     }
     for (std::size_t lev = 0; lev < nlev; ++lev)
@@ -256,8 +280,11 @@ AdaptiveLumpedResult solve_lumped_adaptive(const HapParams& params, double trunc
     out.bounds.max_apps_total = std::min(y_cap, std::size_t{8});
 
     std::vector<double> guess;
+    // One builder across every growth step: each rebuilt chain assembles
+    // through the same COO/scatter arenas instead of re-growing them.
+    markov::CsrBuilder arena;
     while (true) {
-        const LumpedChain chain(params, out.bounds);
+        const LumpedChain chain(params, out.bounds, arena);
         markov::SolveOptions opts = base;
         // Zero-padded previous solution: the bulk of the mass sits in the
         // low-y states shared by both boxes, so the grown solve starts next
@@ -343,14 +370,22 @@ void GeneralChain::build(const HapParams& params) {
     const double mu = params.user_departure_rate;
 
     arrival_rates_.assign(num_states(), 0.0);
+    // Same bipartite structure as the lumped lattice, one dimension up:
+    // every transition changes exactly one coordinate by one, so coordinate-
+    // sum parity is a proper red-black 2-coloring.
+    std::vector<std::uint32_t> parity(num_states());
     std::vector<std::size_t> coords(l + 1, 0);  // [x, y_1..y_l]
     coords[0] = x_lo_;
     for (std::size_t s = 0; s < num_states(); ++s) {
         const double x = static_cast<double>(coords[0]);
         double rate = 0.0;
-        for (std::size_t i = 0; i < l; ++i)
+        std::size_t coord_sum = coords[0];
+        for (std::size_t i = 0; i < l; ++i) {
             rate += static_cast<double>(coords[i + 1]) * params.apps[i].total_message_rate();
+            coord_sum += coords[i + 1];
+        }
         arrival_rates_[s] = rate;
+        parity[s] = static_cast<std::uint32_t>(coord_sum & 1u);
 
         if (dynamic_users) {
             if (coords[0] < x_hi_) ctmc_.add_transition(s, s + radix_[0], lambda);
@@ -379,6 +414,7 @@ void GeneralChain::build(const HapParams& params) {
             c = base;
         }
     }
+    ctmc_.set_color_hint(std::move(parity));
     ctmc_.finalize();
 }
 
@@ -418,9 +454,12 @@ numerics::Matrix detail::dense_from_ctmc(const markov::Ctmc& chain) {
     if (n > 5000)
         throw std::invalid_argument("dense_from_ctmc: state space too large for dense form");
     numerics::Matrix q(n, n);
-    for (const markov::Transition& e : chain.edges()) {
-        q(e.from, e.to) += e.rate;
-        q(e.from, e.from) -= e.rate;
+    for (std::size_t from = 0; from < n; ++from) {
+        const markov::Ctmc::OutEdges out = chain.out_edges(from);
+        for (std::size_t e = 0; e < out.count; ++e) {
+            q(from, out.to[e]) += out.rate[e];
+            q(from, from) -= out.rate[e];
+        }
     }
     return q;
 }

@@ -33,6 +33,10 @@ struct ChainBounds {
 class LumpedChain {
 public:
     LumpedChain(const HapParams& params, const ChainBounds& bounds);
+    // Same, but assembling through a caller-owned CSR builder so repeated
+    // constructions (adaptive box growth) reuse its arenas across chains.
+    LumpedChain(const HapParams& params, const ChainBounds& bounds,
+                markov::CsrBuilder& builder);
 
     std::size_t num_states() const noexcept { return ctmc_.num_states(); }
     std::size_t index(std::size_t x, std::size_t y) const;
@@ -64,6 +68,8 @@ public:
     std::size_t y_hi() const noexcept { return y_hi_; }
 
 private:
+    void build(const HapParams& params);
+
     std::size_t x_lo_, x_hi_, y_hi_;
     std::vector<double> arrival_rates_;
     markov::Ctmc ctmc_;

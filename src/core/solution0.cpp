@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <stdexcept>
@@ -234,25 +235,9 @@ struct BoxSolve {
     Observables obs;
     std::size_t sweeps = 0;
     double residual = 0.0;
+    double sweep_s = 0.0;  // wall time inside the sweep loop (kernel telemetry)
     bool converged = false;
     bool deadline_hit = false;  // the wall_ms budget backstop fired
-};
-
-// The optional wall-clock backstop of the solve budget; evaluated only at
-// observable checks, so its cost is amortized over check_every sweeps.
-struct WallDeadline {
-    bool armed = false;
-    std::chrono::steady_clock::time_point at{};
-
-    explicit WallDeadline(std::uint64_t wall_ms) {
-        if (wall_ms > 0) {
-            armed = true;
-            at = std::chrono::steady_clock::now() + std::chrono::milliseconds(wall_ms);
-        }
-    }
-    bool expired() const {
-        return armed && std::chrono::steady_clock::now() >= at;
-    }
 };
 
 // Sweep `pi` on box `g` until the observables (delay, E[z]) settle to `tol`
@@ -264,6 +249,12 @@ BoxSolve solve_box(const Grid& g, const Rates& r, const std::vector<double>& mar
                    std::size_t max_sweeps, bool verbose, LineWorkspace& ws,
                    const WallDeadline& deadline) {
     BoxSolve out;
+    const auto loop_start = std::chrono::steady_clock::now();
+    const auto elapsed_s = [loop_start] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             loop_start)
+            .count();
+    };
     double prev_delay = -1.0;
     double prev_z = -1.0;
     for (std::size_t s = 1; s <= max_sweeps; ++s) {
@@ -290,12 +281,14 @@ BoxSolve solve_box(const Grid& g, const Rates& r, const std::vector<double>& mar
                 if (dd < tol && dz < tol) {
                     out.converged = true;
                     out.obs = o;
+                    out.sweep_s = elapsed_s();
                     return out;
                 }
             }
             if (deadline.expired()) {
                 out.deadline_hit = true;
                 out.obs = o;
+                out.sweep_s = elapsed_s();
                 return out;
             }
             prev_delay = delay;
@@ -303,6 +296,7 @@ BoxSolve solve_box(const Grid& g, const Rates& r, const std::vector<double>& mar
         }
     }
     out.sweeps = max_sweeps;
+    out.sweep_s = elapsed_s();
     normalize(pi);
     out.obs = measure(g, r, pi);
     return out;
@@ -437,6 +431,9 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
 
     LineWorkspace ws;
     std::vector<double> mod_guess;
+    // One CSR builder for every modulating-chain rebuild along the y growths:
+    // the assembly arenas are reused instead of re-grown per box.
+    markov::CsrBuilder mod_arena;
     // Modulating-chain marginal, cached across z-only box growths (the
     // (x, y) chain — and hence its law — does not depend on z).
     std::vector<double> marginal;
@@ -446,6 +443,8 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
     // 1e-13 when observables stop at 1e-7 buys nothing.
     const double mod_tol = std::clamp(opts.tol * 1e-3, 1e-13, 1e-10);
     std::size_t total_sweeps = 0;
+    double sweep_s_total = 0.0;        // kernel-loop wall time across boxes
+    std::uint64_t state_updates = 0;  // sum of sweeps * box states
     BoxSolve fin;
     while (true) {
         if (!have_seed) {
@@ -473,7 +472,7 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
             ChainBounds mb;
             mb.max_users = g.x_hi;
             mb.max_apps_total = g.y_hi;
-            const LumpedChain mod_chain(params, mb);
+            const LumpedChain mod_chain(params, mb, mod_arena);
             // The fallback-chain kernel swap bypasses the exact elimination
             // and goes straight to the iterative path below.
             marginal = opts.force_iterative_marginal ? std::vector<double>{}
@@ -481,6 +480,8 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
             if (marginal.empty()) {
                 markov::SolveOptions mod_opts;
                 mod_opts.tol = mod_tol;
+                mod_opts.threads = opts.threads;
+                mod_opts.coloring = opts.coloring;
                 if (have_seed) {
                     mod_guess = line_sums(g, pi);
                     mod_opts.initial_guess = &mod_guess;
@@ -518,6 +519,8 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
             const BoxSolve b = solve_box(g, r, marginal, pi, coarse_tol, ck,
                                          budget, opts.verbose, ws, deadline);
             total_sweeps += b.sweeps;
+            sweep_s_total += b.sweep_s;
+            state_updates += static_cast<std::uint64_t>(b.sweeps) * g.size();
             if (b.deadline_hit) {
                 fin = b;
                 break;
@@ -558,6 +561,8 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
         fin = solve_box(g, r, marginal, pi, opts.tol, ck, budget, opts.verbose,
                         ws, deadline);
         total_sweeps += fin.sweeps;
+        sweep_s_total += fin.sweep_s;
+        state_updates += static_cast<std::uint64_t>(fin.sweeps) * g.size();
         break;
     }
     // A tightened sweep cap that expired, or the wall backstop firing, is
@@ -595,6 +600,10 @@ Solution0Result solve_solution0(const HapParams& params, const Solution0Options&
         t.residual = res.residual;
         t.truncation = g.z_hi;
         t.wall_time_s = timer.stop();
+        t.sweep_time_s = sweep_s_total;
+        t.states_per_sec = sweep_s_total > 0.0
+                               ? static_cast<double>(state_updates) / sweep_s_total
+                               : 0.0;
         t.converged = res.converged;
         obs::registry().record_solver(std::move(t));
     }

@@ -1,27 +1,28 @@
 // Parallel replication engine. Independent replications (or grid cells of a
-// parameter sweep) fan out over a std::thread pool; every replication draws
-// from a counter-based substream (sim::substream_seed), so the numbers — and
-// the merged point estimates, which are combined in run_id order — are
-// bit-identical whether the pool has 1 thread or 64.
+// parameter sweep) fan out over the shared parallel::parallel_for pool; every
+// replication draws from a counter-based substream (sim::substream_seed), so
+// the numbers — and the merged point estimates, which are combined in run_id
+// order — are bit-identical whether the pool has 1 thread or 64.
 #pragma once
 
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <stdexcept>
-#include <string>
 #include <vector>
 
 #include "experiment/checkpoint.hpp"
 #include "experiment/failure.hpp"
 #include "experiment/result.hpp"
 #include "experiment/scenario.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace hap::experiment {
 
-// Worker count: HAP_BENCH_THREADS if set and positive, else the hardware
-// concurrency (at least 1).
-std::size_t env_threads();
+// The work-sharing primitive moved down to src/parallel (so the markov
+// solvers can use it too); these aliases keep the experiment-layer spelling
+// every existing caller uses.
+using parallel::env_threads;
+using JobError = parallel::JobError;
+using ParallelForError = parallel::ParallelForError;
 
 // Fault-contained sweep options: an optional append-mode checkpoint (every
 // finished job is persisted before the sweep moves on) and an optional
@@ -38,28 +39,6 @@ struct ContainedSweep {
     std::vector<MergedResult> merged;
     std::vector<std::size_t> survivors;
     std::vector<FailureRecord> failures;
-};
-
-// One failed job of a parallel_for: the job index and the exception it threw.
-struct JobError {
-    std::size_t index = 0;
-    std::exception_ptr error;
-};
-
-// Thrown by parallel_for when jobs fail. EVERY failure is kept, ordered by
-// job index (deterministic for any thread count); what() reports the count
-// and the first failure's text. Derives from std::runtime_error so callers
-// that only ever expected "the one exception" still catch it.
-class ParallelForError : public std::runtime_error {
-public:
-    explicit ParallelForError(std::vector<JobError> errors);
-
-    const std::vector<JobError>& errors() const noexcept { return errors_; }
-
-private:
-    static std::string describe(const std::vector<JobError>& errors);
-
-    std::vector<JobError> errors_;
 };
 
 class ExperimentRunner {

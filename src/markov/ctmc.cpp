@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -10,12 +11,25 @@
 #include "core/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace hap::markov {
 
 Ctmc::Ctmc(std::size_t num_states) : n_(num_states) {
     if (num_states == 0) throw std::invalid_argument("Ctmc: zero states");
-    if (num_states > UINT32_MAX) throw std::invalid_argument("Ctmc: too many states");
+    if (num_states > UINT32_MAX)
+        throw std::invalid_argument("Ctmc: too many states for the 32-bit index envelope");
+    builder().begin(n_, n_);
+    exit_rates_.assign(n_, 0.0);
+}
+
+Ctmc::Ctmc(std::size_t num_states, CsrBuilder& builder_arena)
+    : n_(num_states), shared_(&builder_arena) {
+    if (num_states == 0) throw std::invalid_argument("Ctmc: zero states");
+    if (num_states > UINT32_MAX)
+        throw std::invalid_argument("Ctmc: too many states for the 32-bit index envelope");
+    builder().begin(n_, n_);
+    exit_rates_.assign(n_, 0.0);
 }
 
 void Ctmc::add_transition(std::size_t from, std::size_t to, double rate) {
@@ -25,54 +39,70 @@ void Ctmc::add_transition(std::size_t from, std::size_t to, double rate) {
     HAP_CHECK_FINITE(rate);  // a NaN rate passes every comparison below
     if (rate < 0.0) throw std::invalid_argument("Ctmc: negative rate");
     if (rate == 0.0) return;
-    edges_.push_back(Transition{static_cast<std::uint32_t>(from),
-                                static_cast<std::uint32_t>(to), rate});
+    builder().add(from, to, rate);
+    // Exit rates accumulate in insertion order (the order callers add
+    // transitions), independent of how build() later merges duplicates.
+    exit_rates_[from] += rate;
+}
+
+void Ctmc::set_color_hint(std::vector<std::uint32_t> color_of) {
+    if (finalized_) throw std::logic_error("Ctmc: set_color_hint after finalize");
+    if (color_of.size() != n_)
+        throw std::invalid_argument("Ctmc: color hint size mismatch");
+    color_hint_ = std::move(color_of);
+    has_hint_ = true;
 }
 
 void Ctmc::finalize() {
     if (finalized_) return;
-    exit_rates_.assign(n_, 0.0);
-    std::vector<std::size_t> in_counts(n_, 0);
-    for (const Transition& e : edges_) {
-        exit_rates_[e.from] += e.rate;
-        ++in_counts[e.to];
-    }
-    in_offsets_.assign(n_ + 1, 0);
-    for (std::size_t s = 0; s < n_; ++s) in_offsets_[s + 1] = in_offsets_[s] + in_counts[s];
-    in_from_.resize(edges_.size());
-    in_rate_.resize(edges_.size());
-    std::vector<std::size_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
-    for (const Transition& e : edges_) {
-        const std::size_t pos = cursor[e.to]++;
-        in_from_[pos] = e.from;
-        in_rate_[pos] = e.rate;
-    }
-    // Sort each state's in-edges by source index: Gauss-Seidel then reads
-    // pi[in.from[k]] in ascending address order, turning the inner product
-    // into mostly-sequential loads instead of insertion-order hops. Stable so
-    // duplicate (from, to) edges keep a deterministic summation order.
-    std::vector<std::pair<std::uint32_t, double>> seg;
-    for (std::size_t s = 0; s < n_; ++s) {
-        const std::size_t begin = in_offsets_[s];
-        const std::size_t end = in_offsets_[s + 1];
-        if (end - begin < 2) continue;
-        seg.clear();
-        for (std::size_t k = begin; k < end; ++k) seg.emplace_back(in_from_[k], in_rate_[k]);
-        std::stable_sort(seg.begin(), seg.end(),
-                         [](const auto& a, const auto& b) { return a.first < b.first; });
-        for (std::size_t k = begin; k < end; ++k) {
-            in_from_[k] = seg[k - begin].first;
-            in_rate_[k] = seg[k - begin].second;
-        }
+    CsrBuilder& b = builder();
+    b.build(out_);
+    // The transpose's rows are each state's in-edges in ascending source
+    // order: Gauss-Seidel then reads pi[from[k]] in ascending address order,
+    // turning the inner product into mostly-sequential loads.
+    b.transpose(out_, in_);
+    if (has_hint_) {
+        // A bad hint is a caller bug — validate now (throws), not at the
+        // first parallel solve.
+        coloring_ = color_from_hint(out_, std::move(color_hint_));
+        has_hint_ = false;
     }
     finalized_ = true;
 }
 
+std::size_t Ctmc::num_transitions() const noexcept {
+    if (finalized_) return out_.nnz();
+    return shared_ != nullptr ? shared_->pending() : own_builder_.pending();
+}
+
 Ctmc::InEdges Ctmc::in_edges(std::size_t s) const {
     if (!finalized_) throw std::logic_error("Ctmc: not finalized");
-    const std::size_t begin = in_offsets_.at(s);
-    const std::size_t end = in_offsets_.at(s + 1);
-    return InEdges{in_from_.data() + begin, in_rate_.data() + begin, end - begin};
+    if (s >= n_) throw std::out_of_range("Ctmc: state out of range");
+    const Csr::Row r = in_.row(s);
+    return InEdges{r.idx, r.val, r.count};
+}
+
+Ctmc::OutEdges Ctmc::out_edges(std::size_t s) const {
+    if (!finalized_) throw std::logic_error("Ctmc: not finalized");
+    if (s >= n_) throw std::out_of_range("Ctmc: state out of range");
+    const Csr::Row r = out_.row(s);
+    return OutEdges{r.idx, r.val, r.count};
+}
+
+const Csr& Ctmc::out_matrix() const {
+    if (!finalized_) throw std::logic_error("Ctmc: not finalized");
+    return out_;
+}
+
+const Csr& Ctmc::in_matrix() const {
+    if (!finalized_) throw std::logic_error("Ctmc: not finalized");
+    return in_;
+}
+
+const Coloring& Ctmc::coloring() const {
+    if (!finalized_) throw std::logic_error("Ctmc: not finalized");
+    if (coloring_.empty()) coloring_ = color_greedy(out_, in_);
+    return coloring_;
 }
 
 namespace {
@@ -119,10 +149,29 @@ bool seed_iterate(std::vector<double>& pi, std::size_t n, const SolveOptions& op
     return false;
 }
 
+// Sweep-kernel bookkeeping threaded through the telemetry exits: start of
+// the iteration loop (for sweep_time_s / states_per_sec) plus the
+// deterministic parallelism facts (color count, thread knob).
+struct KernelStats {
+    std::chrono::steady_clock::time_point start{};
+    std::uint32_t colors = 0;
+    std::uint32_t threads = 0;
+};
+
+void record_solve(const char* solver, const SolveResult& res, std::size_t n,
+                  obs::ScopedTimer& timer, const KernelStats* kernel = nullptr);
+
 // The degenerate-mass exit shared by both solvers: mark non-converged,
 // surface an infinite residual, and leave a telemetry trail.
 void abort_degenerate(const char* solver, SolveResult& res, std::size_t iter,
-                      std::size_t n, obs::ScopedTimer& timer);
+                      std::size_t n, obs::ScopedTimer& timer,
+                      const KernelStats* kernel) {
+    res.iterations = iter;
+    res.residual = std::numeric_limits<double>::infinity();
+    res.converged = false;
+    if (obs::enabled()) obs::registry().add_counter("ctmc.degenerate_mass");
+    record_solve(solver, res, n, timer, kernel);
+}
 
 // The contraction ratio of two consecutive difference vectors,
 // r = <d_cur, d_prev> / <d_prev, d_prev> (Lyusternik's estimate). Returns a
@@ -204,7 +253,7 @@ void check_distribution(const std::vector<double>& pi) {
 }
 
 void record_solve(const char* solver, const SolveResult& res, std::size_t n,
-                  obs::ScopedTimer& timer) {
+                  obs::ScopedTimer& timer, const KernelStats* kernel) {
     if (!obs::enabled()) return;
     obs::SolverTelemetry t;
     t.solver = solver;
@@ -213,37 +262,18 @@ void record_solve(const char* solver, const SolveResult& res, std::size_t n,
     t.truncation = n;
     t.wall_time_s = timer.stop();
     t.converged = res.converged;
+    if (kernel != nullptr) {
+        const std::chrono::duration<double> loop =
+            std::chrono::steady_clock::now() - kernel->start;
+        t.sweep_time_s = loop.count();
+        if (t.sweep_time_s > 0.0 && res.iterations > 0)
+            t.states_per_sec = static_cast<double>(res.iterations) *
+                               static_cast<double>(n) / t.sweep_time_s;
+        t.colors = kernel->colors;
+        t.threads = kernel->threads;
+    }
     obs::registry().record_solver(std::move(t));
 }
-
-void abort_degenerate(const char* solver, SolveResult& res, std::size_t iter,
-                      std::size_t n, obs::ScopedTimer& timer) {
-    res.iterations = iter;
-    res.residual = std::numeric_limits<double>::infinity();
-    res.converged = false;
-    if (obs::enabled()) obs::registry().add_counter("ctmc.degenerate_mass");
-    record_solve(solver, res, n, timer);
-}
-
-// The wall-clock backstop of the solve budget, evaluated lazily at check
-// boundaries. Deterministic budgets (iterations, states) are preferred; this
-// exists so an operator can bound a sweep's wall time no matter what.
-class WallDeadline {
-public:
-    explicit WallDeadline(std::uint64_t wall_ms) {
-        if (wall_ms > 0) {
-            armed_ = true;
-            deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(wall_ms);
-        }
-    }
-    bool expired() const {
-        return armed_ && std::chrono::steady_clock::now() >= deadline_;
-    }
-
-private:
-    bool armed_ = false;
-    std::chrono::steady_clock::time_point deadline_{};
-};
 
 // The state-budget refusal shared by both solvers: too many states to even
 // allocate under the budget, so hand back a uniform non-converged iterate
@@ -269,6 +299,12 @@ double max_relative_change(const std::vector<double>& a, const std::vector<doubl
     return worst;
 }
 
+// The effective worker count for a solve: opts.threads, with 0 deferring to
+// the HAP_BENCH_THREADS / hardware-concurrency policy.
+std::size_t resolve_threads(const SolveOptions& opts) {
+    return opts.threads == 0 ? parallel::env_threads() : opts.threads;
+}
+
 }  // namespace
 
 SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
@@ -277,7 +313,18 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
     const std::size_t n = chain.num_states();
     if (opts.budget.states_exceeded(n)) return refuse_states("ctmc.gs", n, timer);
     const std::size_t max_iter = opts.budget.cap_iterations(opts.max_iter);
-    const WallDeadline deadline(opts.budget.wall_ms);
+    const core::WallDeadline deadline(opts.budget.wall_ms);
+    const std::size_t threads = resolve_threads(opts);
+    // kAuto picks the natural (historical, bit-identical) order for serial
+    // solves and the colored order as soon as parallelism is requested;
+    // kColored is the thread-invariance contract — one fixed colored order
+    // whose result does not depend on the thread count at all.
+    const bool colored = opts.coloring == ColoringMode::kColored ||
+                         (opts.coloring == ColoringMode::kAuto && threads > 1);
+    const Coloring* coloring = colored ? &chain.coloring() : nullptr;
+    const Csr& in = chain.in_matrix();
+    const double* exit_rates = chain.exit_rates().data();
+
     SolveResult res;
     res.warm_started = seed_iterate(res.pi, n, opts);
     // Aitken history (three previous checked iterates) plus a scratch vector;
@@ -290,31 +337,21 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
     std::size_t worse_checks = 0;
     double best_residual = std::numeric_limits<double>::infinity();
     std::size_t checks_since_best = 0;
+    KernelStats kernel;
+    kernel.colors = colored ? coloring->num_colors : 0;
+    kernel.threads = static_cast<std::uint32_t>(std::min<std::size_t>(threads, UINT32_MAX));
+    kernel.start = std::chrono::steady_clock::now();
 
     for (std::size_t iter = 1; iter <= max_iter; ++iter) {
         // The last budgeted iteration is a forced check so the reported
         // residual is always fresh, never stale from a skipped window.
         const bool check = (iter % opts.check_every) == 0 || iter == max_iter;
-        double worst = 0.0;
-        for (std::size_t s = 0; s < n; ++s) {
-            const double out = chain.exit_rate(s);
-            if (out <= 0.0) continue;  // absorbing (shouldn't occur for HAP lattices)
-            const Ctmc::InEdges in = chain.in_edges(s);
-            double inflow = 0.0;
-            for (std::size_t k = 0; k < in.count; ++k)
-                inflow += res.pi[in.from[k]] * in.rate[k];
-            const double next = inflow / out;
-            if (check) {
-                // States with negligible mass are compared absolutely, not
-                // relatively, so the stopping rule is not hostage to 1e-100
-                // states (same rule as max_relative_change).
-                const double scale = std::max(res.pi[s], 1e-14);
-                worst = std::max(worst, std::abs(next - res.pi[s]) / scale);
-            }
-            res.pi[s] = next;
-        }
+        const double worst =
+            colored ? gs_sweep_colored(in, exit_rates, *coloring, threads,
+                                       res.pi.data(), check)
+                    : gs_sweep_natural(in, exit_rates, res.pi.data(), check);
         if (!normalize(res.pi)) {
-            abort_degenerate("ctmc.gs", res, iter, n, timer);
+            abort_degenerate("ctmc.gs", res, iter, n, timer, &kernel);
             return res;
         }
         if (check) {
@@ -323,7 +360,7 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
             if (res.residual < opts.tol) {
                 res.converged = true;
                 check_distribution(res.pi);
-                record_solve("ctmc.gs", res, n, timer);
+                record_solve("ctmc.gs", res, n, timer, &kernel);
                 return res;
             }
             if (deadline.expired()) break;  // wall backstop; flagged below
@@ -377,7 +414,7 @@ SolveResult solve_steady_state(const Ctmc& chain, const SolveOptions& opts) {
         res.budget_exhausted = true;
         if (obs::enabled()) obs::registry().add_counter("ctmc.budget_exhausted");
     }
-    record_solve("ctmc.gs", res, n, timer);
+    record_solve("ctmc.gs", res, n, timer, &kernel);
     return res;
 }
 
@@ -387,9 +424,12 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
     const std::size_t n = chain.num_states();
     if (opts.budget.states_exceeded(n)) return refuse_states("ctmc.power", n, timer);
     const std::size_t max_iter = opts.budget.cap_iterations(opts.max_iter);
-    const WallDeadline deadline(opts.budget.wall_ms);
+    const core::WallDeadline deadline(opts.budget.wall_ms);
+    const std::size_t threads = resolve_threads(opts);
+    const Csr& in = chain.in_matrix();
+    const double* exit_rates = chain.exit_rates().data();
     double lambda = 0.0;
-    for (std::size_t s = 0; s < n; ++s) lambda = std::max(lambda, chain.exit_rate(s));
+    for (std::size_t s = 0; s < n; ++s) lambda = std::max(lambda, exit_rates[s]);
     lambda *= 1.02;  // strict uniformization constant avoids periodicity
     if (lambda <= 0.0) throw std::invalid_argument("solve_steady_state_power: empty chain");
 
@@ -403,17 +443,19 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
     std::size_t worse_checks = 0;
     double best_residual = std::numeric_limits<double>::infinity();
     std::size_t checks_since_best = 0;
+    KernelStats kernel;
+    kernel.threads = static_cast<std::uint32_t>(std::min<std::size_t>(threads, UINT32_MAX));
+    kernel.start = std::chrono::steady_clock::now();
 
     for (std::size_t iter = 1; iter <= max_iter; ++iter) {
         const bool check = (iter % opts.check_every) == 0 || iter == max_iter;
-        // next = pi * (I + Q / lambda)
-        for (std::size_t s = 0; s < n; ++s)
-            next[s] = res.pi[s] * (1.0 - chain.exit_rate(s) / lambda);
-        for (const Transition& e : chain.edges())
-            next[e.to] += res.pi[e.from] * (e.rate / lambda);
+        // next = pi * (I + Q / lambda), gather form over the in-matrix: every
+        // slot of next is written by exactly one chunk, so the step is
+        // bit-identical at any thread count.
+        uniformized_step(in, exit_rates, lambda, threads, res.pi.data(), next.data());
         res.pi.swap(next);
         if (!normalize(res.pi)) {
-            abort_degenerate("ctmc.power", res, iter, n, timer);
+            abort_degenerate("ctmc.power", res, iter, n, timer, &kernel);
             return res;
         }
         if (check) {
@@ -424,7 +466,7 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
             if (res.residual < opts.tol) {
                 res.converged = true;
                 check_distribution(res.pi);
-                record_solve("ctmc.power", res, n, timer);
+                record_solve("ctmc.power", res, n, timer, &kernel);
                 return res;
             }
             if (deadline.expired()) break;  // wall backstop; flagged below
@@ -467,7 +509,7 @@ SolveResult solve_steady_state_power(const Ctmc& chain, const SolveOptions& opts
         res.budget_exhausted = true;
         if (obs::enabled()) obs::registry().add_counter("ctmc.budget_exhausted");
     }
-    record_solve("ctmc.power", res, n, timer);
+    record_solve("ctmc.power", res, n, timer, &kernel);
     return res;
 }
 

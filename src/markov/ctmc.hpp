@@ -3,35 +3,58 @@
 // sweeps on the balance equations and uniformized power iteration. State
 // spaces of a few million states with a handful of transitions each are the
 // design point (truncated HAP lattices).
+//
+// Storage is the CSR engine of markov/sparse.hpp: transitions stream into a
+// CsrBuilder (optionally a caller-shared one, so adaptive truncation growth
+// reuses arenas across rebuilds) and finalize() assembles the out-matrix, its
+// transpose (the in-matrix the Gauss-Seidel kernels sweep), and — when the
+// builder of the chain knows its lattice parity — a red-black coloring that
+// lets sweeps run on several threads with bit-identical results.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/budget.hpp"
+#include "core/contracts.hpp"
+#include "markov/sparse.hpp"
 
 namespace hap::markov {
-
-struct Transition {
-    std::uint32_t from;
-    std::uint32_t to;
-    double rate;
-};
 
 // Build with add_transition, then finalize() once before solving.
 class Ctmc {
 public:
     explicit Ctmc(std::size_t num_states);
+    // Same, but assembling through a caller-owned builder so repeated chain
+    // constructions (adaptive box growth) reuse its arenas. The builder must
+    // outlive finalize() and carries one chain at a time.
+    Ctmc(std::size_t num_states, CsrBuilder& builder);
 
     void add_transition(std::size_t from, std::size_t to, double rate);
+
+    // Optional per-state coloring hint (e.g. red-black lattice parity),
+    // validated at finalize(): an improper or non-contiguous hint throws
+    // std::invalid_argument. Without a hint, a greedy coloring is computed
+    // lazily on the first coloring() call. Must precede finalize().
+    void set_color_hint(std::vector<std::uint32_t> color_of);
+
     void finalize();
     bool finalized() const noexcept { return finalized_; }
 
     std::size_t num_states() const noexcept { return n_; }
-    std::size_t num_transitions() const noexcept { return edges_.size(); }
-    double exit_rate(std::size_t s) const { return exit_rates_.at(s); }
+    // Before finalize: transitions recorded so far. After: stored entries
+    // (duplicate (from, to) pairs merged by summation).
+    std::size_t num_transitions() const noexcept;
 
-    // In-edges of state s as [begin, end) into the CSC arrays.
+    // Hot-path accessor: contract-guarded, not bounds-checked — the solver
+    // kernels index it millions of times per sweep.
+    double exit_rate(std::size_t s) const {
+        HAP_PRECOND(finalized_ && s < n_);
+        return exit_rates_[s];
+    }
+    const std::vector<double>& exit_rates() const noexcept { return exit_rates_; }
+
+    // In-edges of state s, ascending by source (one row of the in-matrix).
     struct InEdges {
         const std::uint32_t* from;
         const double* rate;
@@ -39,17 +62,53 @@ public:
     };
     InEdges in_edges(std::size_t s) const;
 
-    const std::vector<Transition>& edges() const noexcept { return edges_; }
+    // Out-edges of state s, ascending by destination (one row of the
+    // out-matrix).
+    struct OutEdges {
+        const std::uint32_t* to;
+        const double* rate;
+        std::size_t count;
+    };
+    OutEdges out_edges(std::size_t s) const;
+
+    // The assembled matrices (finalize() first): out rows are a state's
+    // outgoing rates by destination; in = transpose(out), the layout the
+    // Gauss-Seidel kernels stream.
+    const Csr& out_matrix() const;
+    const Csr& in_matrix() const;
+
+    // The chain's proper coloring: the validated hint when one was supplied,
+    // else a greedy coloring computed (and cached) on first use. finalize()
+    // first.
+    const Coloring& coloring() const;
 
 private:
+    CsrBuilder& builder() noexcept { return shared_ != nullptr ? *shared_ : own_builder_; }
+
     std::size_t n_;
     bool finalized_ = false;
-    std::vector<Transition> edges_;
+    CsrBuilder own_builder_;
+    CsrBuilder* shared_ = nullptr;
+    bool has_hint_ = false;
+    std::vector<std::uint32_t> color_hint_;
     std::vector<double> exit_rates_;
-    // CSC-like layout of incoming edges, used by Gauss-Seidel.
-    std::vector<std::size_t> in_offsets_;
-    std::vector<std::uint32_t> in_from_;
-    std::vector<double> in_rate_;
+    Csr out_;
+    Csr in_;
+    mutable Coloring coloring_;  // lazily computed when no hint was given
+};
+
+// Sweep-order / parallelism policy for the Gauss-Seidel solver.
+enum class ColoringMode {
+    // Natural order when threads == 1 (bit-identical to the historical serial
+    // solver, so goldens and bench baselines stay valid); colored when
+    // threads > 1.
+    kAuto,
+    // Colored order even on one thread. This is the thread-invariance
+    // contract: a kColored solve is bit-identical for ANY thread count.
+    kColored,
+    // Natural order always; threads only affect the power solver. For
+    // pinning legacy numerics regardless of the threads knob.
+    kNatural,
 };
 
 struct SolveOptions {
@@ -69,6 +128,12 @@ struct SolveOptions {
     // so acceleration can only change how fast the fixed point is reached,
     // never which fixed point.
     bool accelerate = true;
+    // Worker threads for the sweep kernels: 1 = serial (default), 0 = pick
+    // from HAP_BENCH_THREADS / hardware concurrency. Changing the thread
+    // count NEVER changes results: colored sweeps and the power step reduce
+    // over fixed chunks, and the natural sweep is serial by definition.
+    std::size_t threads = 1;
+    ColoringMode coloring = ColoringMode::kAuto;
     // Resource budget (see core/budget.hpp). max_iterations tightens
     // max_iter; a chain larger than max_states is refused outright; wall_ms
     // is checked at check boundaries. Exhaustion returns a non-converged

@@ -74,9 +74,7 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
     }
     const int max_iter = static_cast<int>(opts.budget.cap_iterations(
         opts.max_iter > 0 ? static_cast<std::size_t>(opts.max_iter) : 0));
-    const bool has_deadline = opts.budget.wall_ms > 0;
-    const std::chrono::steady_clock::time_point wall_deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts.budget.wall_ms);
+    const core::WallDeadline deadline(opts.budget.wall_ms);
 
     // Stability is decided by the exact drift condition pi . lambda < mu
     // (pi = stationary law of the modulating chain): the spectral radius of
@@ -154,7 +152,7 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
 
     Matrix h = b0, l = b2, t = b0;
     for (; !warm_done && res.iterations < max_iter; ++res.iterations) {
-        if (has_deadline && std::chrono::steady_clock::now() >= wall_deadline) {
+        if (deadline.expired()) {
             res.budget_exhausted = true;
             break;
         }

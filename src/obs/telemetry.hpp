@@ -3,10 +3,10 @@
 // A SolverTelemetry record captures the convergence story of one solver (or
 // simulator) run: how many iterations it burned, how close it got, how large
 // the truncated state space was, and whether it declared convergence. Every
-// field except wall_time_s is a deterministic function of the solver inputs,
-// so records are bit-identical across thread counts and safe to assert on in
-// tests; wall_time_s is the single wall-clock-derived field and is excluded
-// from determinism checks.
+// field except the wall-clock-derived trio (wall_time_s, sweep_time_s,
+// states_per_sec) is a deterministic function of the solver inputs, so
+// records are bit-identical across thread counts and safe to assert on in
+// tests; the clock-derived fields are excluded from determinism checks.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +23,15 @@ struct SolverTelemetry {
     std::uint64_t truncation = 0;  // states kept / truncation level
     double wall_time_s = 0.0;      // non-deterministic; 0 when clocks skipped
     bool converged = false;
+    // Sweep-kernel throughput (CSR solvers): time inside the iteration loop
+    // and the states-updated-per-second it implies. Non-deterministic like
+    // wall_time_s; 0 when the solver does not report them.
+    double sweep_time_s = 0.0;
+    double states_per_sec = 0.0;
+    // Sweep parallelism: color count of the ordering used (0 = natural
+    // order) and the worker-thread knob. Deterministic.
+    std::uint32_t colors = 0;
+    std::uint32_t threads = 0;
 };
 
 }  // namespace hap::obs

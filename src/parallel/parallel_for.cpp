@@ -1,0 +1,85 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace hap::parallel {
+
+ParallelForError::ParallelForError(std::vector<JobError> errors)
+    : std::runtime_error(describe(errors)), errors_(std::move(errors)) {}
+
+std::string ParallelForError::describe(const std::vector<JobError>& errors) {
+    std::string first = "unknown error";
+    if (!errors.empty() && errors.front().error) {
+        try {
+            std::rethrow_exception(errors.front().error);
+        } catch (const std::exception& e) {
+            first = e.what();
+        } catch (...) {
+        }
+    }
+    std::string msg = "parallel_for: " + std::to_string(errors.size()) +
+                      " job(s) failed; first (job " +
+                      std::to_string(errors.empty() ? 0 : errors.front().index) +
+                      "): " + first;
+    return msg;
+}
+
+std::size_t env_threads() {
+    if (const char* env = std::getenv("HAP_BENCH_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (threads == 0) threads = env_threads();
+    const std::size_t workers = std::min(threads, n);
+    std::vector<JobError> errors;
+    if (workers <= 1) {
+        // The serial path mirrors the pool exactly — every job runs even
+        // after one throws — so failure sets are identical at any thread
+        // count.
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors.push_back({i, std::current_exception()});
+            }
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::mutex error_mutex;
+        const auto work = [&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n) return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    errors.push_back({i, std::current_exception()});
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+        work();  // the calling thread is worker 0
+        for (std::thread& t : pool) t.join();
+        // Capture order is schedule-dependent; job-index order is not.
+        std::sort(errors.begin(), errors.end(),
+                  [](const JobError& a, const JobError& b) { return a.index < b.index; });
+    }
+    if (!errors.empty()) throw ParallelForError(std::move(errors));
+}
+
+}  // namespace hap::parallel

@@ -1,0 +1,334 @@
+// Unit tests for the CSR sparse engine: builder semantics (deduplication
+// order, bounds, the 32-bit index envelope), transpose layout, colorings,
+// and the bit-identical-across-thread-counts contract of the colored
+// Gauss-Seidel sweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hap_chain.hpp"
+#include "core/hap_params.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/sparse.hpp"
+
+namespace {
+
+using hap::core::ChainBounds;
+using hap::core::HapParams;
+using hap::core::LumpedChain;
+using hap::markov::Coloring;
+using hap::markov::ColoringMode;
+using hap::markov::color_from_hint;
+using hap::markov::color_greedy;
+using hap::markov::Csr;
+using hap::markov::CsrBuilder;
+using hap::markov::Ctmc;
+using hap::markov::gs_sweep_colored;
+using hap::markov::gs_sweep_natural;
+using hap::markov::SolveOptions;
+using hap::markov::solve_steady_state;
+
+// ---------------------------------------------------------------- builder --
+
+TEST(CsrBuilder, AssemblesSortedRows) {
+    CsrBuilder b;
+    b.begin(3, 4);
+    b.add(2, 1, 5.0);
+    b.add(0, 3, 1.0);
+    b.add(0, 0, 2.0);
+    b.add(2, 0, 4.0);
+    Csr m;
+    b.build(m);
+    ASSERT_EQ(m.rows, 3u);
+    ASSERT_EQ(m.cols, 4u);
+    ASSERT_EQ(m.nnz(), 4u);
+    const std::vector<std::uint64_t> offsets{0, 2, 2, 4};
+    EXPECT_EQ(m.offsets, offsets);
+    const std::vector<std::uint32_t> idx{0, 3, 0, 1};
+    EXPECT_EQ(m.idx, idx);
+    const std::vector<double> val{2.0, 1.0, 4.0, 5.0};
+    EXPECT_EQ(m.val, val);
+}
+
+TEST(CsrBuilder, DuplicatesSumInInsertionOrder) {
+    // Values chosen so the floating-point sum depends on the fold order:
+    // (big + 1.0) + -big == 0.0, while big + (1.0 + -big) == 1.0. The
+    // builder's stable sort + merge must fold duplicates in add() order.
+    const double big = 1e16;
+    CsrBuilder b;
+    b.begin(2, 2);
+    b.add(0, 1, big);
+    b.add(0, 0, 7.0);  // interleaved non-duplicate must not disturb the fold
+    b.add(0, 1, 1.0);
+    b.add(0, 1, -big);
+    Csr m;
+    b.build(m);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.idx[0], 0u);
+    EXPECT_EQ(m.val[0], 7.0);
+    EXPECT_EQ(m.idx[1], 1u);
+    EXPECT_EQ(m.val[1], (big + 1.0) + -big);  // exactly the insertion-order fold
+}
+
+TEST(CsrBuilder, HandlesEmptyRowsAndEmptyMatrix) {
+    CsrBuilder b;
+    b.begin(4, 4);
+    b.add(1, 2, 3.0);  // rows 0, 2, 3 stay empty
+    Csr m;
+    b.build(m);
+    const std::vector<std::uint64_t> offsets{0, 0, 1, 1, 1};
+    EXPECT_EQ(m.offsets, offsets);
+    EXPECT_EQ(m.row(0).count, 0u);
+    EXPECT_EQ(m.row(3).count, 0u);
+
+    b.begin(2, 2);  // reuse the builder: all-empty build
+    b.build(m);
+    EXPECT_EQ(m.rows, 2u);
+    EXPECT_EQ(m.nnz(), 0u);
+    const std::vector<std::uint64_t> empty_offsets{0, 0, 0};
+    EXPECT_EQ(m.offsets, empty_offsets);
+}
+
+TEST(CsrBuilder, KeepsSelfLoopsAtMatrixLevel) {
+    // The Ctmc wrapper rejects self-transitions, but the raw matrix layer
+    // must carry diagonal entries faithfully (e.g. for generator diagonals).
+    CsrBuilder b;
+    b.begin(2, 2);
+    b.add(1, 1, -4.0);
+    b.add(1, 1, 1.5);
+    Csr m;
+    b.build(m);
+    ASSERT_EQ(m.nnz(), 1u);
+    EXPECT_EQ(m.idx[0], 1u);
+    EXPECT_EQ(m.val[0], -4.0 + 1.5);
+}
+
+TEST(CsrBuilder, RejectsOversizedDimensionsBeforeAllocating) {
+    const std::size_t too_big =
+        static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()) + 1;
+    CsrBuilder b;
+    // Must throw before touching the arenas — allocating offsets for 2^32
+    // rows would be a multi-gigabyte request.
+    EXPECT_THROW(b.begin(too_big, 4), std::invalid_argument);
+    EXPECT_THROW(b.begin(4, too_big), std::invalid_argument);
+    EXPECT_FALSE(b.open());
+}
+
+TEST(CsrBuilder, RejectsBadAdds) {
+    CsrBuilder b;
+    EXPECT_THROW(b.add(0, 0, 1.0), std::logic_error);  // no begin() yet
+    b.begin(2, 3);
+    EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+    EXPECT_THROW(b.add(0, 3, 1.0), std::out_of_range);
+    EXPECT_THROW(b.add(0, 0, std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+    EXPECT_THROW(b.add(0, 0, std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
+    Csr m;
+    b.build(m);
+    EXPECT_THROW(b.add(0, 0, 1.0), std::logic_error);  // closed after build()
+}
+
+TEST(CsrBuilder, TransposeRowsAscendBySource) {
+    CsrBuilder b;
+    b.begin(3, 3);
+    b.add(0, 1, 1.0);
+    b.add(2, 1, 2.0);
+    b.add(1, 0, 3.0);
+    b.add(2, 0, 4.0);
+    Csr m, t;
+    b.build(m);
+    b.transpose(m, t);
+    ASSERT_EQ(t.rows, 3u);
+    ASSERT_EQ(t.nnz(), 4u);
+    // Column 0 of m receives from rows 1 and 2; column 1 from rows 0 and 2.
+    const std::vector<std::uint64_t> offsets{0, 2, 4, 4};
+    EXPECT_EQ(t.offsets, offsets);
+    const std::vector<std::uint32_t> idx{1, 2, 0, 2};
+    EXPECT_EQ(t.idx, idx);
+    const std::vector<double> val{3.0, 4.0, 1.0, 2.0};
+    EXPECT_EQ(t.val, val);
+}
+
+// --------------------------------------------------------------- coloring --
+
+// A coloring is proper iff no out-edge connects two states of one color.
+void expect_proper(const Coloring& c, const Csr& out) {
+    ASSERT_EQ(c.color_of.size(), out.rows);
+    for (std::size_t s = 0; s < out.rows; ++s) {
+        const Csr::Row row = out.row(s);
+        for (std::size_t k = 0; k < row.count; ++k) {
+            if (row.idx[k] == s) continue;
+            EXPECT_NE(c.color_of[s], c.color_of[row.idx[k]])
+                << "edge " << s << " -> " << row.idx[k] << " is monochrome";
+        }
+    }
+    // Groups partition 0..n-1, ascending within each color.
+    ASSERT_EQ(c.color_offsets.size(), static_cast<std::size_t>(c.num_colors) + 1);
+    ASSERT_EQ(c.order.size(), out.rows);
+    for (std::uint32_t col = 0; col < c.num_colors; ++col) {
+        for (std::uint64_t i = c.color_offsets[col]; i < c.color_offsets[col + 1]; ++i) {
+            EXPECT_EQ(c.color_of[c.order[i]], col);
+            if (i > c.color_offsets[col]) {
+                EXPECT_LT(c.order[i - 1], c.order[i]);
+            }
+        }
+    }
+}
+
+// An irregular chain: a triangle (needs 3 colors) plus a pendant path, with
+// asymmetric rates so the stationary distribution is not uniform.
+Ctmc irregular_chain() {
+    Ctmc c(6);
+    c.add_transition(0, 1, 1.0);
+    c.add_transition(1, 0, 2.0);
+    c.add_transition(1, 2, 0.7);
+    c.add_transition(2, 1, 1.1);
+    c.add_transition(2, 0, 0.4);
+    c.add_transition(0, 2, 0.9);
+    c.add_transition(2, 3, 0.3);
+    c.add_transition(3, 2, 2.5);
+    c.add_transition(3, 4, 1.9);
+    c.add_transition(4, 3, 0.8);
+    c.add_transition(4, 5, 0.2);
+    c.add_transition(5, 4, 3.0);
+    c.finalize();
+    return c;
+}
+
+TEST(Coloring, GreedyIsProperOnIrregularGraph) {
+    const Ctmc c = irregular_chain();
+    const Coloring& col = c.coloring();
+    EXPECT_GE(col.num_colors, 3u);  // triangle forces at least 3
+    expect_proper(col, c.out_matrix());
+}
+
+TEST(Coloring, FromHintValidates) {
+    CsrBuilder b;
+    b.begin(3, 3);
+    b.add(0, 1, 1.0);
+    b.add(1, 2, 1.0);
+    Csr m;
+    b.build(m);
+
+    EXPECT_NO_THROW(color_from_hint(m, {0, 1, 0}));
+    // Wrong size.
+    EXPECT_THROW(color_from_hint(m, {0, 1}), std::invalid_argument);
+    // Improper: edge 0 -> 1 monochrome.
+    EXPECT_THROW(color_from_hint(m, {0, 0, 1}), std::invalid_argument);
+    // Non-contiguous color range (color 1 unused).
+    EXPECT_THROW(color_from_hint(m, {0, 2, 0}), std::invalid_argument);
+}
+
+TEST(Coloring, LatticeHintIsRedBlack) {
+    const HapParams p = HapParams::paper_baseline();
+    ChainBounds bounds;
+    bounds.max_users = 30;
+    bounds.max_apps_total = 80;
+    const LumpedChain chain(p, bounds);
+    const Coloring& col = chain.ctmc().coloring();
+    EXPECT_EQ(col.num_colors, 2u);  // parity hint, not greedy's 3+
+    expect_proper(col, chain.ctmc().out_matrix());
+}
+
+// ----------------------------------------------------------- determinism --
+
+// Sweep the same start vector with 1 and 8 threads; every iterate and every
+// residual must match bit for bit.
+void expect_thread_invariant_sweeps(const Ctmc& c) {
+    const Csr& in = c.in_matrix();
+    const double* exit_rates = c.exit_rates().data();
+    const Coloring& col = c.coloring();
+    const std::size_t n = c.num_states();
+    std::vector<double> a(n, 1.0 / static_cast<double>(n));
+    std::vector<double> b = a;
+    for (int sweep = 0; sweep < 25; ++sweep) {
+        const double ra = gs_sweep_colored(in, exit_rates, col, 1, a.data(), true);
+        const double rb = gs_sweep_colored(in, exit_rates, col, 8, b.data(), true);
+        ASSERT_EQ(ra, rb) << "residual diverged at sweep " << sweep;
+        ASSERT_EQ(a, b) << "iterate diverged at sweep " << sweep;
+    }
+}
+
+TEST(Determinism, ColoredSweepThreadInvariantOnLattice) {
+    const HapParams p = HapParams::paper_baseline();
+    ChainBounds bounds;
+    bounds.max_users = 40;
+    bounds.max_apps_total = 120;  // ~5000 states: several chunks per color
+    const LumpedChain chain(p, bounds);
+    expect_thread_invariant_sweeps(chain.ctmc());
+}
+
+TEST(Determinism, ColoredSweepThreadInvariantOnIrregularChain) {
+    expect_thread_invariant_sweeps(irregular_chain());
+}
+
+TEST(Determinism, SolveByteIdenticalAcrossThreadCounts) {
+    const HapParams p = HapParams::paper_baseline();
+    ChainBounds bounds;
+    bounds.max_users = 30;
+    bounds.max_apps_total = 80;
+    const LumpedChain chain(p, bounds);
+
+    SolveOptions one;
+    one.threads = 1;
+    one.coloring = ColoringMode::kColored;
+    SolveOptions eight;
+    eight.threads = 8;
+    eight.coloring = ColoringMode::kColored;
+
+    const auto r1 = chain.solve(one);
+    const auto r8 = chain.solve(eight);
+    ASSERT_TRUE(r1.converged);
+    ASSERT_TRUE(r8.converged);
+    EXPECT_EQ(r1.iterations, r8.iterations);
+    EXPECT_EQ(r1.residual, r8.residual);
+    EXPECT_EQ(r1.pi, r8.pi);  // bit-identical distribution
+}
+
+TEST(Determinism, ColoredAgreesWithNaturalOrder) {
+    // Different sweep order → different fp path, but both must converge to
+    // the same stationary distribution within solver tolerance.
+    const Ctmc c = irregular_chain();
+    SolveOptions natural;
+    natural.coloring = ColoringMode::kNatural;
+    SolveOptions colored;
+    colored.coloring = ColoringMode::kColored;
+    const auto rn = solve_steady_state(c, natural);
+    const auto rc = solve_steady_state(c, colored);
+    ASSERT_TRUE(rn.converged);
+    ASSERT_TRUE(rc.converged);
+    for (std::size_t s = 0; s < c.num_states(); ++s)
+        EXPECT_NEAR(rn.pi[s], rc.pi[s], 1e-8);
+}
+
+TEST(Determinism, NaturalSweepMatchesColoredFixedPoint) {
+    // Sanity on the kernels themselves: both orders preserve the exact
+    // stationary distribution of a two-state chain (pi = [0.75, 0.25]).
+    Ctmc c(2);
+    c.add_transition(0, 1, 2.0);
+    c.add_transition(1, 0, 6.0);
+    c.finalize();
+    std::vector<double> pi{0.75, 0.25};
+    std::vector<double> pc = pi;
+    const double rn = gs_sweep_natural(c.in_matrix(), c.exit_rates().data(),
+                                       pi.data(), true);
+    const double rc = gs_sweep_colored(c.in_matrix(), c.exit_rates().data(),
+                                       c.coloring(), 4, pc.data(), true);
+    EXPECT_NEAR(rn, 0.0, 1e-12);
+    EXPECT_NEAR(rc, 0.0, 1e-12);
+    EXPECT_EQ(pi, pc);
+}
+
+// -------------------------------------------------------- index envelope --
+
+TEST(Ctmc, RejectsOversizedStateSpace) {
+    const std::size_t too_big =
+        static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()) + 1;
+    EXPECT_THROW(Ctmc c(too_big), std::invalid_argument);
+}
+
+}  // namespace

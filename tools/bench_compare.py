@@ -7,7 +7,9 @@ comparison is exact arithmetic on the recorded sweep counts: a point
 regresses when its current count exceeds the baseline by more than
 --max-regress (relative) AND --min-slack (absolute; absorbs the
 check-interval quantization, where a count can only move in steps of
-check_every/2 = 5 sweeps). Wall-clock fields are ignored.
+check_every/2 = 5 sweeps). Wall-clock-derived fields (sweep_s,
+states_per_sec) are reported informationally but never gate: they move with
+the machine, not the code.
 
 usage: bench_compare.py BASELINE CURRENT [--max-regress 0.10] [--min-slack 10]
                         [--allow-missing]
@@ -122,6 +124,24 @@ def main():
     if isinstance(ratio_old, (int, float)) and isinstance(ratio_new, (int, float)):
         print(f"iteration ratio: baseline {ratio_old:.2f}x -> "
               f"current {ratio_new:.2f}x")
+
+    # Sweep-kernel throughput, informational only: wall-clock numbers track
+    # the machine as much as the code, so they annotate but never gate.
+    sps_old = base.get("states_per_sec")
+    sps_new = cur.get("states_per_sec")
+    if isinstance(sps_new, (int, float)) and sps_new > 0:
+        if isinstance(sps_old, (int, float)) and sps_old > 0:
+            print(f"sweep throughput (informational): baseline "
+                  f"{sps_old:.3g} -> current {sps_new:.3g} states/sec "
+                  f"({sps_new / sps_old:.2f}x)")
+        else:
+            print(f"sweep throughput (informational): {sps_new:.3g} states/sec")
+    timed = [label for label in shared
+             if isinstance(cur_pts[label].get("sweep_s"), (int, float))]
+    if timed:
+        total = sum(cur_pts[label]["sweep_s"] for label in timed)
+        print(f"per-point sweep timings (informational): {len(timed)} points, "
+              f"{total:.3f} s total in kernels")
 
     if improvements:
         print(f"\n{len(improvements)} improvement(s):")

@@ -33,7 +33,9 @@
 //       the merged output is byte-identical to an uninterrupted run.
 //       --fault-inject (or HAP_FAULT_INJECT) injects deterministic faults,
 //       e.g. "throw@lambda=0.5#1,nan@lambda=1"; --budget-* caps Solution 0
-//       work per point (see core/budget.hpp).
+//       work per point (see core/budget.hpp). With --analytic, --threads N
+//       parallelizes the modulating-chain sweeps (colored order; results
+//       identical at any N).
 //   hapctl metrics-dump [model flags] [--horizon T] [--reps N] [--solve0]
 //       run a representative slice of the solver/simulation stack with the
 //       observability registry enabled and print the text report.
@@ -235,6 +237,14 @@ int cmd_sweep_analytic(const cli::Flags& f, bool metrics) {
     opts.solver.max_sweeps = f.count("sweeps", 8000);
     opts.solver.check_every = 10;
     opts.solver.budget = budget_from_flags(f);
+    // In analytic mode --threads drives the modulating-chain Gauss-Seidel
+    // kernels. Anything other than the serial default forces the colored
+    // sweep order, so --threads 8 and --threads 1 print identical numbers
+    // (thread-count invariance); plain --analytic keeps the historical
+    // serial natural-order numerics.
+    opts.solver.threads = f.count("threads", 1);
+    if (opts.solver.threads != 1)
+        opts.solver.coloring = markov::ColoringMode::kColored;
 
     experiment::JsonWriter json("hapctl_sweep_analytic");
     json.meta("warm_start", experiment::Json::boolean(opts.warm_start));
@@ -603,7 +613,8 @@ void usage() {
         "                   [--checkpoint FILE [--resume]] [--fault-inject SPEC]\n"
         "                   [--budget-iters N --budget-states N --budget-wall-ms T]\n"
         "                   (SPEC: \"a,b,c\" or \"lo:hi:step\"; --analytic runs\n"
-        "                   Solution 0 as a warm-started continuation chain;\n"
+        "                   Solution 0 as a warm-started continuation chain,\n"
+        "                   with --threads N parallel colored GS sweeps;\n"
         "                   failures are contained per job into a \"failures\"\n"
         "                   block, and --checkpoint/--resume make sweeps\n"
         "                   crash-safe — see README \"Fault tolerance & resume\")\n"
