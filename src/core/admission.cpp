@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "core/solution2.hpp"
 
 namespace hap::core {
@@ -22,6 +23,8 @@ double delay_or_inf(const Solution2& sol, double service_rate) {
 std::vector<AdmissionPoint> admission_sweep(
     const HapParams& base, double service_rate,
     const std::vector<std::pair<std::size_t, std::size_t>>& bounds) {
+    HAP_CHECK_FINITE(service_rate);
+    HAP_PRECOND(service_rate > 0.0);
     std::vector<AdmissionPoint> out;
     out.reserve(bounds.size());
     for (const auto& [mu_users, mu_apps] : bounds) {
@@ -37,6 +40,7 @@ std::vector<AdmissionPoint> admission_sweep(
 }
 
 double required_bandwidth(const HapParams& params, double delay_budget) {
+    HAP_CHECK_FINITE(delay_budget);
     if (delay_budget <= 0.0)
         throw std::invalid_argument("required_bandwidth: non-positive budget");
     const Solution2 sol(params);
@@ -61,6 +65,9 @@ double required_bandwidth(const HapParams& params, double delay_budget) {
 
 double admissible_workload(const HapParams& params, double service_rate,
                            double delay_budget) {
+    HAP_CHECK_FINITE(service_rate);
+    HAP_CHECK_FINITE(delay_budget);
+    HAP_PRECOND(service_rate > 0.0);
     if (delay_budget <= 1.0 / service_rate) {
         throw std::invalid_argument(
             "admissible_workload: budget below the bare service time");
@@ -105,6 +112,9 @@ std::vector<DecisionRow> admission_decision_table(const HapParams& base,
                                                   double delay_budget,
                                                   std::size_t max_user_bound,
                                                   std::size_t app_step) {
+    HAP_CHECK_FINITE(service_rate);
+    HAP_CHECK_FINITE(delay_budget);
+    HAP_PRECOND(service_rate > 0.0 && delay_budget > 0.0 && app_step > 0);
     std::vector<DecisionRow> rows;
     const double apps_per_user =
         base.mean_apps() / std::max(base.mean_users(), 1e-12);

@@ -27,10 +27,14 @@
 
 namespace hap::core {
 
-// Thrown (never returned) when a contract macro fails.
-class ContractViolation : public std::logic_error {
+// Thrown (never returned) when a contract macro fails. Derives from
+// std::invalid_argument (itself a std::logic_error) so call sites that used
+// to hand-roll `throw std::invalid_argument(...)` for the same class of
+// defect can convert to HAP_PRECOND without changing what their callers --
+// including the test suite -- catch.
+class ContractViolation : public std::invalid_argument {
 public:
-    using std::logic_error::logic_error;
+    using std::invalid_argument::invalid_argument;
 };
 
 namespace contracts_detail {

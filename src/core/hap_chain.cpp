@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 
@@ -39,6 +40,8 @@ LumpedShape lumped_shape(const HapParams& p, const ChainBounds& b) {
 }  // namespace
 
 ChainBounds ChainBounds::defaults_for(const HapParams& p, double spread) {
+    HAP_CHECK_FINITE(spread);
+    HAP_PRECOND(spread > 0.0);
     ChainBounds b;
     const double a = p.mean_users();
     b.max_users = p.max_users > 0 ? p.max_users : mass_cap(a, spread, 5.0);
@@ -266,6 +269,7 @@ std::vector<double> LumpedChain::solve_direct() const {
 
 AdaptiveLumpedResult solve_lumped_adaptive(const HapParams& params, double trunc_tol,
                                            const markov::SolveOptions& base) {
+    HAP_CHECK_FINITE(trunc_tol);
     if (!(trunc_tol > 0.0))
         throw std::invalid_argument("solve_lumped_adaptive: trunc_tol must be positive");
     const ChainBounds cap = ChainBounds::defaults_for(params);

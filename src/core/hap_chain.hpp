@@ -109,7 +109,7 @@ private:
 // each grown box from the previous solution (zero-padded). The growth is
 // capped at ChainBounds::defaults_for, so the adaptive solve never exceeds
 // the worst-case static box.
-struct AdaptiveLumpedResult {
+struct [[nodiscard]] AdaptiveLumpedResult {
     markov::SolveResult solve;       // steady state on the final bounds
     ChainBounds bounds;              // bounds actually used
     std::size_t growth_steps = 0;

@@ -3,9 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::core {
 
 HapParams fit_hap_two_level(double mean_rate, double idc, double burst_rate) {
+    // NaN slips through every `<= 0.0` comparison below (all false), so pin
+    // finiteness first.
+    HAP_CHECK_FINITE(mean_rate);
+    HAP_CHECK_FINITE(idc);
+    HAP_CHECK_FINITE(burst_rate);
     if (mean_rate <= 0.0 || burst_rate <= 0.0)
         throw std::invalid_argument("fit_hap_two_level: rates must be positive");
     if (idc <= 1.0)
@@ -21,6 +28,11 @@ HapParams fit_hap_two_level(double mean_rate, double idc, double burst_rate) {
 ThreeLevelFit fit_hap_three_level(double mean_rate, double idc, double burst_rate,
                                   std::size_t l, std::size_t m,
                                   double apps_per_user, double user_share) {
+    HAP_CHECK_FINITE(mean_rate);
+    HAP_CHECK_FINITE(idc);
+    HAP_CHECK_FINITE(burst_rate);
+    HAP_CHECK_FINITE(apps_per_user);
+    HAP_CHECK_FINITE(user_share);
     if (mean_rate <= 0.0 || burst_rate <= 0.0 || apps_per_user <= 0.0)
         throw std::invalid_argument("fit_hap_three_level: rates must be positive");
     if (idc <= 1.0)

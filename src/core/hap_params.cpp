@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::core {
 
 double ApplicationType::total_message_rate() const noexcept {
@@ -18,6 +20,14 @@ double ApplicationType::mean_instances_per_user() const noexcept {
 HapParams HapParams::homogeneous(double lambda, double mu, double lambda1,
                                  double mu1, std::size_t l, double lambda2,
                                  std::size_t m, double mu2) {
+    // validate() rejects non-positive rates but NaN compares false against
+    // every bound, so finiteness is pinned here at the factory boundary.
+    HAP_CHECK_FINITE(lambda);
+    HAP_CHECK_FINITE(mu);
+    HAP_CHECK_FINITE(lambda1);
+    HAP_CHECK_FINITE(mu1);
+    HAP_CHECK_FINITE(lambda2);
+    HAP_CHECK_FINITE(mu2);
     HapParams p;
     p.user_arrival_rate = lambda;
     p.user_departure_rate = mu;
@@ -31,11 +41,17 @@ HapParams HapParams::homogeneous(double lambda, double mu, double lambda1,
 }
 
 HapParams HapParams::paper_baseline(double message_service_rate) {
+    HAP_CHECK_FINITE(message_service_rate);
+    HAP_PRECOND(message_service_rate > 0.0);
     return homogeneous(0.0055, 0.001, 0.01, 0.01, 5, 0.1, 3, message_service_rate);
 }
 
 HapParams HapParams::two_level(double call_arrival_rate, double call_departure_rate,
                                double message_rate, double message_service_rate) {
+    HAP_CHECK_FINITE(call_arrival_rate);
+    HAP_CHECK_FINITE(call_departure_rate);
+    HAP_CHECK_FINITE(message_rate);
+    HAP_CHECK_FINITE(message_service_rate);
     HapParams p;
     p.permanent_users = 1;
     ApplicationType call;
@@ -93,7 +109,7 @@ bool HapParams::homogeneous_types() const noexcept {
     const std::size_t m = first.messages.size();
     for (const ApplicationType& a : apps) {
         if (a.arrival_rate != first.arrival_rate ||
-            a.departure_rate != first.departure_rate || a.messages.size() != m)
+            a.departure_rate != first.departure_rate || a.messages.size() != m)  // haplint: allow(float-equality) structural identity of app types, not a tolerance test
             return false;
         for (const MessageType& msg : a.messages) {
             if (msg.arrival_rate != first.messages.front().arrival_rate ||
@@ -109,7 +125,7 @@ bool HapParams::uniform_service() const noexcept {
     for (const ApplicationType& a : apps) {
         for (const MessageType& m : a.messages) {
             if (mu < 0.0) mu = m.service_rate;
-            if (m.service_rate != mu) return false;
+            if (m.service_rate != mu) return false;  // haplint: allow(float-equality) structural identity: all messages share one exact rate
         }
     }
     return mu > 0.0;

@@ -36,7 +36,7 @@ struct HapSimOptions {
     std::function<void(double, std::uint64_t, std::uint64_t)> on_population_change;
 };
 
-struct HapSimResult {
+struct [[nodiscard]] HapSimResult {
     stats::OnlineStats delay;
     stats::TimeWeightedStats number;       // messages in system
     stats::TimeWeightedStats users;

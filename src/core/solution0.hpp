@@ -79,7 +79,7 @@ struct Solution0Options {
     markov::ColoringMode coloring = markov::ColoringMode::kAuto;
 };
 
-struct Solution0Result {
+struct [[nodiscard]] Solution0Result {
     double mean_messages = 0.0;   // E[z], number in system
     double mean_rate = 0.0;       // accepted message throughput
     double mean_delay = 0.0;      // E[z] / throughput (Little)

@@ -110,6 +110,8 @@ void Solution1::analyze(const std::vector<double>& pi, const std::vector<double>
 }
 
 queueing::Gm1Result Solution1::solve_queue(double service_rate) const {
+    HAP_CHECK_FINITE(service_rate);
+    HAP_PRECOND(service_rate > 0.0);
     return queueing::solve_gm1([this](double s) { return laplace(s); }, service_rate,
                                lambda_bar_);
 }

@@ -81,6 +81,7 @@ double Solution2::mean_rate() const {
 }
 
 double Solution2::interarrival_density(double t) const {
+    HAP_CHECK_FINITE(t);
     if (params_.bounded()) {
         throw std::logic_error("Solution2: closed form requires an unbounded HAP");
     }
@@ -94,6 +95,7 @@ double Solution2::interarrival_density(double t) const {
 }
 
 double Solution2::interarrival_cdf(double t) const {
+    HAP_CHECK_FINITE(t);
     if (params_.bounded()) {
         throw std::logic_error("Solution2: closed form requires an unbounded HAP");
     }
@@ -190,6 +192,7 @@ void Solution2::build_mixture() const {
 }
 
 double Solution2::laplace(double s) const {
+    HAP_CHECK_FINITE(s);
     if (params_.homogeneous_types()) return mixture().transform(s);
     if (params_.bounded()) {
         throw std::logic_error(
@@ -200,6 +203,8 @@ double Solution2::laplace(double s) const {
 }
 
 queueing::Gm1Result Solution2::solve_queue(double service_rate) const {
+    HAP_CHECK_FINITE(service_rate);
+    HAP_PRECOND(service_rate > 0.0);
     return queueing::solve_gm1([this](double s) { return laplace(s); }, service_rate,
                                mean_rate());
 }

@@ -13,7 +13,7 @@
 
 namespace hap::core {
 
-struct Solution3Result {
+struct [[nodiscard]] Solution3Result {
     markov::QbdResult qbd;
     std::size_t phase_states = 0;
 };

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis wiring (DESIGN.md §4i, layer a).
+//
+// The repo's concurrency discipline — one mutex per shared structure, locks
+// held for whole member-function bodies, no lock-free cleverness outside
+// std::atomic counters — is exactly the shape Clang's -Wthread-safety can
+// prove. These macros attach the capability annotations; under any other
+// compiler they expand to nothing, so gcc builds are unaffected and the CI
+// clang job is the single place the proof runs.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// members with HAP_GUARDED_BY(some_std_mutex) teaches the analysis nothing.
+// The canonical fix (used by every annotated codebase since the original
+// mutex.h writeup in the Clang docs) is a thin annotated wrapper: hap::core::
+// Mutex is a std::mutex that IS a capability, and MutexLock is the scoped
+// acquire/release the analysis tracks. Code under analysis uses these instead
+// of std::mutex / std::lock_guard; the generated object code is identical.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HAP_THREAD_ANNOTATION(x) __attribute__((x))  // NOLINT(bugprone-macro-parentheses)
+#else
+#define HAP_THREAD_ANNOTATION(x)
+#endif
+
+// A type that is a lockable capability ("mutex", "role", ...).
+#define HAP_CAPABILITY(x) HAP_THREAD_ANNOTATION(capability(x))
+// An RAII type whose lifetime holds a capability.
+#define HAP_SCOPED_CAPABILITY HAP_THREAD_ANNOTATION(scoped_lockable)
+// Data member readable/writable only while `x` is held.
+#define HAP_GUARDED_BY(x) HAP_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member whose POINTEE is protected by `x` (the pointer itself is not).
+#define HAP_PT_GUARDED_BY(x) HAP_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function that must be called with the listed capabilities held.
+#define HAP_REQUIRES(...) HAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Function that acquires / releases the listed capabilities.
+#define HAP_ACQUIRE(...) HAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HAP_RELEASE(...) HAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Function that acquires the capability iff it returns `result`.
+#define HAP_TRY_ACQUIRE(...) HAP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Function that must NOT be called with the listed capabilities held
+// (deadlock guard for functions that take the lock themselves).
+#define HAP_EXCLUDES(...) HAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Documented, justified opt-out. Policy (ISSUE 7 / DESIGN.md §4i): every use
+// must carry a comment saying why the analysis cannot see the invariant;
+// blanket escapes fail review.
+#define HAP_NO_THREAD_SAFETY_ANALYSIS HAP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hap::core {
+
+// std::mutex as a capability. Same layout and cost; the annotations are
+// compile-time only.
+class HAP_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() HAP_ACQUIRE() { m_.lock(); }
+    void unlock() HAP_RELEASE() { m_.unlock(); }
+    bool try_lock() HAP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+private:
+    std::mutex m_;
+};
+
+// Scoped holder, the annotated std::lock_guard. Constructing it acquires the
+// capability for the enclosing scope; the analysis then permits access to
+// everything HAP_GUARDED_BY that mutex.
+class HAP_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& m) HAP_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() HAP_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& m_;
+};
+
+}  // namespace hap::core

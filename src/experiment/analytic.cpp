@@ -62,7 +62,7 @@ std::vector<AnalyticPointResult> run_analytic_sweep(const std::vector<AnalyticPo
                 o.warm = &carry;
                 const double d1 = pt.coord - coord1;
                 const double d0 = coord1 - coord0;
-                if (!carry_prev.empty() && d0 != 0.0 && d1 != 0.0 &&
+                if (!carry_prev.empty() && d0 != 0.0 && d1 != 0.0 &&  // haplint: allow(float-equality) exact-zero guards before dividing by d0
                     std::isfinite(d1 / d0) && d1 / d0 > 0.0) {
                     o.warm_prev = &carry_prev;
                     o.warm_step = d1 / d0;

@@ -46,7 +46,7 @@ struct AnalyticSweepOptions {
     core::Solution0Options solver;
 };
 
-struct AnalyticPointResult {
+struct [[nodiscard]] AnalyticPointResult {
     std::string name;
     core::Solution0Result s0;
     // Fault-tolerance annotations. quality is "ok" (converged, possibly via

@@ -217,7 +217,7 @@ CheckpointWriter::~CheckpointWriter() {
 
 void CheckpointWriter::write_line(const Json& j) {
     const std::string line = j.dump(0) + "\n";
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fflush(file_) != 0) {
         throw std::runtime_error("checkpoint: write failed");

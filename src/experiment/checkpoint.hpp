@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "experiment/failure.hpp"
 #include "experiment/json.hpp"
 #include "experiment/result.hpp"
@@ -82,8 +82,11 @@ public:
 private:
     void write_line(const Json& j);
 
-    std::FILE* file_ = nullptr;
-    std::mutex mutex_;
+    // The stream pointer is set in the constructor and closed in the
+    // destructor (clang's analysis grants both exclusive access); every
+    // other touch is a pool worker and must hold mutex_.
+    core::Mutex mutex_;
+    std::FILE* file_ HAP_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace hap::experiment

@@ -48,7 +48,7 @@ FaultPlan& mutable_plan() {
     // first-use parse happens before any pool exists (hapctl / test setup),
     // so no synchronization is needed on the hooks' read path.
     static FaultPlan plan = [] {
-        const char* env = std::getenv("HAP_FAULT_INJECT");
+        const char* env = std::getenv("HAP_FAULT_INJECT");  // haplint: allow(env-after-spawn) phase-0: forced on the coordinating thread (runner.cpp) before pools
         return env != nullptr ? FaultPlan::parse(env) : FaultPlan{};
     }();
     return plan;

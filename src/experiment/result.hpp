@@ -36,7 +36,7 @@ struct Estimate {
 };
 
 // Summary of one independent replication.
-struct ReplicationResult {
+struct [[nodiscard]] ReplicationResult {
     std::uint64_t run_id = 0;
     stats::OnlineStats delay;          // per-message sojourn times
     stats::TimeWeightedStats number;   // messages in system
@@ -64,7 +64,7 @@ struct ReplicationResult {
 void validate_replication(const ReplicationResult& r);
 
 // Replications merged in run_id order.
-struct MergedResult {
+struct [[nodiscard]] MergedResult {
     std::size_t replications = 0;
 
     // Pooled over every replication (point estimates, deterministic).

@@ -154,8 +154,19 @@ ContainedSweep ExperimentRunner::run_all_contained(
     std::vector<std::vector<ReplicationResult>> runs(grid.size());
     for (std::size_t s = 0; s < grid.size(); ++s) runs[s].resize(grid[s].replications);
 
+    // Force the fault plan's one-time HAP_FAULT_INJECT parse NOW, on the
+    // coordinating thread: the hooks below run inside pool workers, and
+    // environment reads are phase-0 configuration that must never happen
+    // after the pool has spawned (haplint env-after-spawn).
+    (void)fault_plan();
+
     // Fixed per-job slots: no cross-thread ordering to reason about, and the
-    // final failure list falls out in job-index order by construction.
+    // final failure list falls out in job-index order by construction. This
+    // is also why no capability annotations appear here: workers share no
+    // mutex-guarded state — `done` is a std::atomic and every other write
+    // lands in a slot owned by exactly one job index. The mutex-guarded
+    // structures workers DO touch (metrics registry, checkpoint writer,
+    // parallel_for's error sink) carry their annotations at the definition.
     std::vector<char> ok(total, 0);
     std::vector<char> bad(total, 0);
     std::vector<FailureRecord> slots(total);

@@ -38,7 +38,7 @@ void Ctmc::add_transition(std::size_t from, std::size_t to, double rate) {
     if (from == to) throw std::invalid_argument("Ctmc: self-loop");
     HAP_CHECK_FINITE(rate);  // a NaN rate passes every comparison below
     if (rate < 0.0) throw std::invalid_argument("Ctmc: negative rate");
-    if (rate == 0.0) return;
+    if (rate == 0.0) return;  // haplint: allow(float-equality) exact zero = edge absent, by construction
     builder().add(from, to, rate);
     // Exit rates accumulate in insertion order (the order callers add
     // transitions), independent of how build() later merges duplicates.

@@ -141,7 +141,7 @@ struct SolveOptions {
     core::SolveBudget budget;
 };
 
-struct SolveResult {
+struct [[nodiscard]] SolveResult {
     std::vector<double> pi;
     std::size_t iterations = 0;
     double residual = 0.0;  // last observed max relative change

@@ -25,7 +25,7 @@ double spectral_radius(const Matrix& r) {
         std::vector<double> w = r.apply(v);
         double norm = 0.0;
         for (double x : w) norm = std::max(norm, std::abs(x));
-        if (norm == 0.0) return 0.0;
+        if (norm == 0.0) return 0.0;  // haplint: allow(float-equality) exact-zero vector short-circuit before normalizing
         for (double& x : w) x /= norm;
         if (std::abs(norm - lambda) < 1e-13 * std::max(1.0, norm)) return norm;
         lambda = norm;
@@ -187,7 +187,7 @@ QbdResult solve_mmpp_m1(const Matrix& phase_generator,
     Matrix w = neg_a1;
     for (std::size_t i = 0; i < n; ++i) {
         const double li = arrival_rates[i];
-        if (li == 0.0) continue;
+        if (li == 0.0) continue;  // haplint: allow(float-equality) exact zero = level has no arrivals, by construction
         for (std::size_t j = 0; j < n; ++j) w(i, j) -= li * g(i, j);
     }
     const Matrix w_inv = numerics::inverse(w);

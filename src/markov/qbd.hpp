@@ -29,7 +29,7 @@ struct QbdOptions {
     const numerics::Matrix* initial_g = nullptr;
 };
 
-struct QbdResult {
+struct [[nodiscard]] QbdResult {
     numerics::Matrix r;             // Neuts' rate matrix
     numerics::Matrix g;             // Neuts' G matrix (feed back via initial_g)
     std::vector<double> pi0;        // boundary (level 0) distribution

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/contracts.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace hap::markov {
@@ -43,8 +44,7 @@ void CsrBuilder::add(std::size_t row, std::size_t col, double value) {
         throw std::out_of_range("CsrBuilder: entry (" + std::to_string(row) + ", " +
                                 std::to_string(col) + ") outside " +
                                 std::to_string(rows_) + " x " + std::to_string(cols_));
-    if (!std::isfinite(value))
-        throw std::invalid_argument("CsrBuilder: non-finite value");
+    HAP_CHECK_FINITE(value);
     coo_row_.push_back(static_cast<std::uint32_t>(row));
     coo_col_.push_back(static_cast<std::uint32_t>(col));
     coo_val_.push_back(value);
@@ -322,6 +322,8 @@ double gs_sweep_colored(const Csr& in, const double* exit_rates,
 
 void uniformized_step(const Csr& in, const double* exit_rates, double lambda,
                       std::size_t threads, const double* pi, double* next) {
+    HAP_CHECK_FINITE(lambda);
+    HAP_PRECOND(lambda > 0.0);
     const std::size_t n = in.rows;
     const std::uint64_t* const offsets = in.offsets.data();
     const std::uint32_t* const from = in.idx.data();

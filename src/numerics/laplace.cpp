@@ -3,16 +3,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::numerics {
 
 double laplace_transform(const std::function<double(double)>& density, double s,
                          const QuadratureOptions& opts) {
+    HAP_CHECK_FINITE(s);
     if (s < 0.0) throw std::invalid_argument("laplace_transform: s < 0");
     return integrate_to_infinity([&](double t) { return density(t) * std::exp(-s * t); },
                                  opts);
 }
 
 double ExponentialMixture::transform(double s) const {
+    HAP_CHECK_FINITE(s);
     double total = 0.0;
     for (std::size_t k = 0; k < rates.size(); ++k) {
         if (rates[k] <= 0.0) continue;
@@ -22,6 +26,7 @@ double ExponentialMixture::transform(double s) const {
 }
 
 double ExponentialMixture::density(double t) const {
+    HAP_CHECK_FINITE(t);
     double total = 0.0;
     for (std::size_t k = 0; k < rates.size(); ++k) {
         if (rates[k] <= 0.0) continue;
@@ -31,6 +36,7 @@ double ExponentialMixture::density(double t) const {
 }
 
 double ExponentialMixture::cdf(double t) const {
+    HAP_CHECK_FINITE(t);
     double total = 0.0;
     for (std::size_t k = 0; k < rates.size(); ++k) {
         if (rates[k] <= 0.0) continue;

@@ -5,10 +5,14 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::numerics {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    HAP_CHECK_FINITE(fill);
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
     rows_ = rows.size();
@@ -52,7 +56,7 @@ Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
     for (std::size_t i = 0; i < lhs.rows_; ++i) {
         for (std::size_t k = 0; k < lhs.cols_; ++k) {
             const double a = lhs(i, k);
-            if (a == 0.0) continue;
+            if (a == 0.0) continue;  // haplint: allow(float-equality) exact-zero sparsity skip; any other value multiplies
             const double* rrow = &rhs.data_[k * rhs.cols_];
             double* orow = &out.data_[i * out.cols_];
             for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
@@ -74,7 +78,7 @@ std::vector<double> Matrix::apply_left(const std::vector<double>& v) const {
     std::vector<double> out(cols_, 0.0);
     for (std::size_t i = 0; i < rows_; ++i) {
         const double a = v[i];
-        if (a == 0.0) continue;
+        if (a == 0.0) continue;  // haplint: allow(float-equality) exact-zero sparsity skip; any other value multiplies
         const double* row = &data_[i * cols_];
         for (std::size_t j = 0; j < cols_; ++j) out[j] += a * row[j];
     }
@@ -117,7 +121,7 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
         for (std::size_t r = col + 1; r < n; ++r) {
             const double factor = lu_(r, col) / diag;
             lu_(r, col) = factor;
-            if (factor == 0.0) continue;
+            if (factor == 0.0) continue;  // haplint: allow(float-equality) exact-zero elimination skip
             for (std::size_t j = col + 1; j < n; ++j) lu_(r, j) -= factor * lu_(col, j);
         }
     }

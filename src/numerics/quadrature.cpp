@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace hap::numerics {
 namespace {
 
@@ -32,8 +34,10 @@ double adaptive_step(const std::function<double(double)>& f, double a, double b,
 
 double integrate(const std::function<double(double)>& f, double a, double b,
                  const QuadratureOptions& opts) {
+    HAP_CHECK_FINITE(a);
+    HAP_CHECK_FINITE(b);
     if (!(a <= b)) throw std::invalid_argument("integrate: a > b");
-    if (a == b) return 0.0;
+    if (a == b) return 0.0;  // haplint: allow(float-equality) degenerate interval is exactly empty
     const double m = 0.5 * (a + b);
     const double fa = f(a);
     const double fm = f(m);

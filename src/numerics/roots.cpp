@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/contracts.hpp"
+
 namespace hap::numerics {
 
 namespace {
@@ -14,16 +16,18 @@ void report_iterations(const RootOptions& opts, int used) {
 
 std::optional<double> bisect(const std::function<double(double)>& f, double lo,
                              double hi, const RootOptions& opts) {
+    HAP_CHECK_FINITE(lo);
+    HAP_CHECK_FINITE(hi);
     report_iterations(opts, 0);
     double flo = f(lo);
     double fhi = f(hi);
-    if (flo == 0.0) return lo;
-    if (fhi == 0.0) return hi;
+    if (flo == 0.0) return lo;  // haplint: allow(float-equality) exact root: no tolerance can improve it
+    if (fhi == 0.0) return hi;  // haplint: allow(float-equality) exact root: no tolerance can improve it
     if (std::signbit(flo) == std::signbit(fhi)) return std::nullopt;
     for (int i = 0; i < opts.max_iter; ++i) {
         const double mid = 0.5 * (lo + hi);
         const double fmid = f(mid);
-        if (fmid == 0.0 || hi - lo < opts.tol) {
+        if (fmid == 0.0 || hi - lo < opts.tol) {  // haplint: allow(float-equality) exact root short-circuit ahead of tol test
             report_iterations(opts, i + 1);
             return mid;
         }
@@ -40,6 +44,7 @@ std::optional<double> bisect(const std::function<double(double)>& f, double lo,
 
 std::optional<double> damped_fixed_point(const std::function<double(double)>& g,
                                          double x0, const RootOptions& opts) {
+    HAP_CHECK_FINITE(x0);
     double x = x0;
     for (int i = 0; i < opts.max_iter; ++i) {
         const double gx = g(x);
@@ -55,11 +60,13 @@ std::optional<double> damped_fixed_point(const std::function<double(double)>& g,
 
 std::optional<double> brent(const std::function<double(double)>& f, double lo,
                             double hi, const RootOptions& opts) {
+    HAP_CHECK_FINITE(lo);
+    HAP_CHECK_FINITE(hi);
     report_iterations(opts, 0);
     double a = lo, b = hi;
     double fa = f(a), fb = f(b);
-    if (fa == 0.0) return a;
-    if (fb == 0.0) return b;
+    if (fa == 0.0) return a;  // haplint: allow(float-equality) exact root: no tolerance can improve it
+    if (fb == 0.0) return b;  // haplint: allow(float-equality) exact root: no tolerance can improve it
     if (std::signbit(fa) == std::signbit(fb)) return std::nullopt;
     if (std::abs(fa) < std::abs(fb)) {
         std::swap(a, b);
@@ -70,7 +77,7 @@ std::optional<double> brent(const std::function<double(double)>& f, double lo,
     double d = 0.0;
     for (int i = 0; i < opts.max_iter; ++i) {
         double s;
-        if (fa != fc && fb != fc) {
+        if (fa != fc && fb != fc) {  // haplint: allow(float-equality) IQI needs distinct ordinates bitwise, else divides by 0
             // Inverse quadratic interpolation.
             s = a * fb * fc / ((fa - fb) * (fa - fc)) +
                 b * fa * fc / ((fb - fa) * (fb - fc)) +
@@ -103,7 +110,7 @@ std::optional<double> brent(const std::function<double(double)>& f, double lo,
             std::swap(a, b);
             std::swap(fa, fb);
         }
-        if (fb == 0.0 || std::abs(b - a) < opts.tol) {
+        if (fb == 0.0 || std::abs(b - a) < opts.tol) {  // haplint: allow(float-equality) exact root short-circuit ahead of tol test
             report_iterations(opts, i + 1);
             return b;
         }

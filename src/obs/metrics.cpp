@@ -11,7 +11,7 @@ namespace hap::obs {
 namespace {
 
 bool env_enabled() {
-    const char* v = std::getenv("HAP_BENCH_METRICS");
+    const char* v = std::getenv("HAP_BENCH_METRICS");  // haplint: allow(env-after-spawn) phase-0: seeds the one-time flag before any pool exists
     return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
@@ -46,7 +46,7 @@ void HistogramData::observe(double value) {
         // e - kMinExponent — except exactly v = 2^e, which is the inclusive
         // upper edge of the bucket below.
         const int e = std::ilogb(value);
-        const bool on_edge = std::ldexp(1.0, e) == value;
+        const bool on_edge = std::ldexp(1.0, e) == value;  // haplint: allow(float-equality) detects exact powers of two for the bucket edge
         idx = std::clamp(e - kMinExponent - (on_edge ? 1 : 0), 0, kBuckets - 1);
     } else if (std::isinf(value) && value > 0.0) {
         idx = kBuckets - 1;
@@ -75,7 +75,7 @@ double HistogramData::bucket_upper(int i) {
 
 std::uint64_t MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
     if (!enabled()) return 0;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     auto it = counters_.find(name);
     if (it == counters_.end())
         it = counters_.emplace(std::string(name), 0).first;
@@ -85,7 +85,7 @@ std::uint64_t MetricsRegistry::add_counter(std::string_view name, std::uint64_t 
 
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
     if (!enabled()) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end())
         it = gauges_.emplace(std::string(name), 0.0).first;
@@ -94,7 +94,7 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
 
 void MetricsRegistry::observe(std::string_view name, double value) {
     if (!enabled()) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end())
         it = histograms_.emplace(std::string(name), HistogramData{}).first;
@@ -104,14 +104,14 @@ void MetricsRegistry::observe(std::string_view name, double value) {
 void MetricsRegistry::record_solver(SolverTelemetry record) {
     if (!enabled()) return;
     if (record.label.empty()) record.label = ScopedLabel::current();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     solvers_.push_back(std::move(record));
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
     MetricsSnapshot snap;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const core::MutexLock lock(mutex_);
         snap.counters.assign(counters_.begin(), counters_.end());
         snap.gauges.assign(gauges_.begin(), gauges_.end());
         snap.histograms.assign(histograms_.begin(), histograms_.end());
@@ -181,7 +181,7 @@ std::string MetricsRegistry::report() const {
 }
 
 void MetricsRegistry::reset() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();

@@ -18,12 +18,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "obs/telemetry.hpp"
 
 namespace hap::obs {
@@ -75,11 +75,11 @@ public:
     void reset();
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::uint64_t, std::less<>> counters_;
-    std::map<std::string, double, std::less<>> gauges_;
-    std::map<std::string, HistogramData, std::less<>> histograms_;
-    std::vector<SolverTelemetry> solvers_;
+    mutable core::Mutex mutex_;
+    std::map<std::string, std::uint64_t, std::less<>> counters_ HAP_GUARDED_BY(mutex_);
+    std::map<std::string, double, std::less<>> gauges_ HAP_GUARDED_BY(mutex_);
+    std::map<std::string, HistogramData, std::less<>> histograms_ HAP_GUARDED_BY(mutex_);
+    std::vector<SolverTelemetry> solvers_ HAP_GUARDED_BY(mutex_);
 };
 
 // The process-wide registry all instrumentation reports into.

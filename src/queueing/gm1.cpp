@@ -102,6 +102,9 @@ Gm1Result solve_gm1(const std::function<double(double)>& transform,
 }
 
 double gm1_wait_cdf(double sigma, double service_rate, double y) {
+    HAP_CHECK_PROB(sigma);
+    HAP_CHECK_FINITE(service_rate);
+    HAP_CHECK_FINITE(y);
     if (y < 0.0) return 0.0;
     return 1.0 - sigma * std::exp(-service_rate * (1.0 - sigma) * y);
 }

@@ -22,7 +22,7 @@ struct Gm1Options {
     int max_iter = 500;
 };
 
-struct Gm1Result {
+struct [[nodiscard]] Gm1Result {
     double sigma = 0.0;       // probability an arrival finds the server busy
     double mean_delay = 0.0;  // sojourn time 1 / (mu (1 - sigma))
     double mean_wait = 0.0;   // sigma / (mu (1 - sigma))

@@ -7,6 +7,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::queueing {
 
 struct Mg1 {
@@ -16,15 +18,21 @@ struct Mg1 {
 
     Mg1(double arrival_rate, double mean_s, double second_moment_s)
         : lambda(arrival_rate), mean_service(mean_s), second_moment(second_moment_s) {
+        HAP_CHECK_FINITE(arrival_rate);
+        HAP_CHECK_FINITE(mean_s);
+        HAP_CHECK_FINITE(second_moment_s);
         if (arrival_rate <= 0.0 || mean_s <= 0.0 || second_moment_s < mean_s * mean_s)
             throw std::invalid_argument("Mg1: invalid parameters");
     }
 
     static Mg1 exponential(double arrival_rate, double service_rate) {
+        HAP_CHECK_FINITE(service_rate);
+        HAP_PRECOND(service_rate > 0.0);
         const double m = 1.0 / service_rate;
         return Mg1(arrival_rate, m, 2.0 * m * m);
     }
     static Mg1 deterministic(double arrival_rate, double service_time) {
+        HAP_CHECK_FINITE(service_time);
         return Mg1(arrival_rate, service_time, service_time * service_time);
     }
 

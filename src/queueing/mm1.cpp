@@ -11,6 +11,7 @@ double Mm1::p_n(unsigned n) const {
 }
 
 double Mm1::delay_cdf(double t) const {
+    HAP_CHECK_FINITE(t);
     if (t < 0.0) return 0.0;
     return 1.0 - std::exp(-(mu - lambda) * t);
 }
@@ -23,6 +24,8 @@ double Mm1::variance_busy_period() const {
 
 Mm1K::Mm1K(double arrival_rate, double service_rate, unsigned k)
     : lambda(arrival_rate), mu(service_rate), capacity(k) {
+    HAP_CHECK_FINITE(arrival_rate);
+    HAP_CHECK_FINITE(service_rate);
     if (arrival_rate <= 0.0 || service_rate <= 0.0 || k == 0)
         throw std::invalid_argument("Mm1K: invalid parameters");
 }

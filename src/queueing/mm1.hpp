@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace hap::queueing {
 
 struct Mm1 {
@@ -11,6 +13,8 @@ struct Mm1 {
     double mu = 0.0;      // service rate
 
     Mm1(double arrival_rate, double service_rate) : lambda(arrival_rate), mu(service_rate) {
+        HAP_CHECK_FINITE(arrival_rate);
+        HAP_CHECK_FINITE(service_rate);
         if (arrival_rate <= 0.0 || service_rate <= 0.0)
             throw std::invalid_argument("Mm1: rates must be positive");
     }

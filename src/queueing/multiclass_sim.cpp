@@ -89,7 +89,7 @@ MulticlassResult simulate_multiclass_queue(std::vector<TrafficClass> classes,
         const double ta = next.empty() ? kInf : next.top().time;
         const bool arrival_first = ta <= next_departure;
         const double t = arrival_first ? ta : next_departure;
-        if (t >= opts.horizon || t == kInf) break;
+        if (t >= opts.horizon || t == kInf) break;  // haplint: allow(float-equality) kInf is an exact sentinel, not a measurement
         now = t;
 
         if (arrival_first) {

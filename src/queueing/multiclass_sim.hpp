@@ -42,7 +42,7 @@ struct ClassStats {
     std::uint64_t departures = 0;
 };
 
-struct MulticlassResult {
+struct [[nodiscard]] MulticlassResult {
     std::vector<ClassStats> per_class;
     stats::OnlineStats delay;  // all classes pooled
     stats::TimeWeightedStats number;

@@ -33,7 +33,7 @@ QueueSimResult simulate_queue(traffic::ArrivalProcess& arrivals,
     while (true) {
         const bool arrival_first = next_arrival <= next_departure;
         const double t = arrival_first ? next_arrival : next_departure;
-        if (t >= opts.horizon || t == kInf) break;
+        if (t >= opts.horizon || t == kInf) break;  // haplint: allow(float-equality) kInf is an exact sentinel, not a measurement
         now = t;
         ++res.events;
 

@@ -29,7 +29,7 @@ struct QueueSimOptions {
     std::function<void(double, std::uint64_t)> on_change;
 };
 
-struct QueueSimResult {
+struct [[nodiscard]] QueueSimResult {
     stats::OnlineStats delay;           // sojourn times
     stats::OnlineStats wait;            // queueing times (excluding service)
     stats::TimeWeightedStats number;    // number in system over time

@@ -46,7 +46,7 @@ private:
         double time;
         EventId id;
         bool operator>(const Entry& o) const noexcept {
-            return time > o.time || (time == o.time && id > o.id);
+            return time > o.time || (time == o.time && id > o.id);  // haplint: allow(float-equality) deterministic tie-break on bitwise-equal times
         }
     };
 

@@ -39,7 +39,7 @@ double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double OnlineStats::scv() const noexcept {
     const double m = mean();
-    return m != 0.0 ? variance() / (m * m) : 0.0;
+    return m != 0.0 ? variance() / (m * m) : 0.0;  // haplint: allow(float-equality) exact-zero mean guard before dividing
 }
 
 void TimeWeightedStats::update(double time, double new_value) {

@@ -14,7 +14,7 @@ double autocorrelation(std::span<const double> samples, std::size_t lag) {
     for (double s : samples) all.add(s);
     const double mean = all.mean();
     const double denom = all.variance() * static_cast<double>(n);
-    if (denom == 0.0) return 0.0;
+    if (denom == 0.0) return 0.0;  // haplint: allow(float-equality) exact-zero variance guard before dividing
     double num = 0.0;
     for (std::size_t i = 0; i + lag < n; ++i)
         num += (samples[i] - mean) * (samples[i + lag] - mean);

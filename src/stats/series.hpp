@@ -16,7 +16,7 @@ double autocorrelation(std::span<const double> samples, std::size_t lag);
 // Batch-means half-width of a ~95% confidence interval for the mean of a
 // correlated sequence. Splits into `batches` contiguous batches and applies
 // the normal approximation across batch means.
-struct BatchMeansResult {
+struct [[nodiscard]] BatchMeansResult {
     double mean = 0.0;
     double half_width = 0.0;  // 1.96 * stderr of batch means
     std::size_t batches = 0;

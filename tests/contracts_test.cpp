@@ -94,18 +94,18 @@ TEST(Contracts, MergedResultRejectsPoisonedReplication) {
     r.departures = 10;
     r.observed_time = 100.0;
     r.utilization = 1.5;  // not a probability
-    EXPECT_THROW(MergedResult::merge({r}), ContractViolation);
+    EXPECT_THROW((void)MergedResult::merge({r}), ContractViolation);
 
     r.utilization = 0.5;
     r.departures = 11;  // more departures than counted arrivals
-    EXPECT_THROW(MergedResult::merge({r}), ContractViolation);
+    EXPECT_THROW((void)MergedResult::merge({r}), ContractViolation);
 
     r.departures = 10;
     r.observed_time = kInf;
-    EXPECT_THROW(MergedResult::merge({r}), ContractViolation);
+    EXPECT_THROW((void)MergedResult::merge({r}), ContractViolation);
 
     r.observed_time = 100.0;
-    EXPECT_NO_THROW(MergedResult::merge({r}));
+    EXPECT_NO_THROW((void)MergedResult::merge({r}));
 }
 
 // --- solver boundaries ------------------------------------------------------
@@ -131,9 +131,9 @@ TEST(Contracts, QbdRejectsNonFiniteArrivalRates) {
 
 TEST(Contracts, Gm1RejectsNonFiniteRates) {
     const auto poisson = [](double s) { return 1.0 / (1.0 + s); };
-    EXPECT_THROW(hap::queueing::solve_gm1(poisson, kInf, 0.5),
+    EXPECT_THROW((void)hap::queueing::solve_gm1(poisson, kInf, 0.5),
                  ContractViolation);
-    EXPECT_THROW(hap::queueing::solve_gm1(poisson, 2.0, kNan),
+    EXPECT_THROW((void)hap::queueing::solve_gm1(poisson, 2.0, kNan),
                  std::exception);  // NaN fails <= 0 check or the finite check
 }
 

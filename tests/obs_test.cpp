@@ -209,7 +209,7 @@ TEST_F(ObsTest, StarvedSigmaIterationRecordsNonConvergence) {
     opts.method = hap::queueing::SigmaMethod::kPaperAveraging;
     opts.max_iter = 1;
     const auto poisson_transform = [](double s) { return 8.0 / (8.0 + s); };
-    EXPECT_THROW(hap::queueing::solve_gm1(poisson_transform, 20.0, 8.0, opts),
+    EXPECT_THROW((void)hap::queueing::solve_gm1(poisson_transform, 20.0, 8.0, opts),
                  std::runtime_error);
 
     const MetricsSnapshot snap = hap::obs::registry().snapshot();

@@ -1,0 +1,279 @@
+"""cxxlex — the shared C++ lexer behind haplint v2 and hapcheck.
+
+Both analyzers used to work on regex-filtered lines, which has two failure
+modes this module exists to close:
+
+  * Raw string literals. `R"(anything)"` (and delimited forms
+    `R"delim(...)delim"`) contain unescaped quotes and backslashes; a
+    character-class state machine that only knows `"..."` desynchronizes on
+    them and then misclassifies the rest of the file.
+  * Token boundaries. `rand` inside `operand` or a comment must not match;
+    a real token stream makes "identifier equals exactly X" trivial.
+
+The lexer is a faithful single-pass tokenizer for the C++ subset this repo
+uses (no trigraphs, no digraphs — haplint forbids them stylistically anyway).
+It produces a flat list of tokens, each knowing its kind, spelling, line and
+column, and offers two derived views used by the analyzers:
+
+  lex(text)        -> [Token]            full stream incl. comments/strings
+  code_tokens(t)   -> [Token]            comments and literals dropped
+  code_view(text)  -> str                text with comments/string & char
+                                         literal BODIES blanked, line
+                                         structure and literal quotes kept —
+                                         the v1 `strip_comments_and_strings`
+                                         contract, now raw-string correct.
+
+Token kinds: "comment", "string" (incl. raw and char literals), "number",
+"ident", "punct", "pp" (a whole preprocessor directive line, continuations
+included).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "Token",
+    "lex",
+    "code_tokens",
+    "code_view",
+    "match_paren",
+    "match_brace",
+]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+# Multi-character punctuators, longest first, so `<<=` never lexes as `<` `<=`.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+]
+
+_RAW_OPEN_RE = re.compile(r'([^()\\\s]{0,16})\(')
+
+
+@dataclass
+class Token:
+    kind: str   # comment | string | number | ident | punct | pp
+    text: str   # exact source spelling
+    line: int   # 1-based line of the first character
+    col: int    # 0-based column of the first character
+
+    def __repr__(self):  # compact, test-friendly
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+def _is_raw_string_prefix(text, i):
+    """True when text[i] begins a raw string literal's R (checking for the
+    optional encoding prefix is the CALLER's job: u8R etc. are handled by the
+    ident path peeking ahead)."""
+    return text.startswith('R"', i)
+
+
+def lex(text):
+    """Tokenize `text`. Never raises on malformed input: an unterminated
+    literal or comment becomes one token running to end-of-file, which is the
+    useful behavior for a linter that must keep scanning a broken tree."""
+    toks = []
+    i, n = 0, len(text)
+    line, col = 1, 0
+
+    def advance_pos(s):
+        nonlocal line, col
+        nl = s.count("\n")
+        if nl:
+            line += nl
+            col = len(s) - s.rfind("\n") - 1
+        else:
+            col += len(s)
+
+    def emit(kind, start, end):
+        toks.append(Token(kind, text[start:end], line, col))
+        advance_pos(text[start:end])
+
+    while i < n:
+        c = text[i]
+
+        # Whitespace (not a token).
+        if c in " \t\r\n\f\v":
+            j = i
+            while j < n and text[j] in " \t\r\n\f\v":
+                j += 1
+            advance_pos(text[i:j])
+            i = j
+            continue
+
+        # Preprocessor directive: only when '#' is the first non-ws char of
+        # the line. The whole logical line (backslash continuations) is one
+        # token, so includes never confuse the expression rules.
+        if c == "#":
+            ls = text.rfind("\n", 0, i) + 1
+            if text[ls:i].strip() == "":
+                j = i
+                while j < n:
+                    k = text.find("\n", j)
+                    if k == -1:
+                        j = n
+                        break
+                    # Trailing backslash (possibly with \r) continues the line.
+                    m = k
+                    if m > 0 and text[m - 1] == "\r":
+                        m -= 1
+                    if m > 0 and text[m - 1] == "\\":
+                        j = k + 1
+                        continue
+                    j = k
+                    break
+                emit("pp", i, j)
+                i = j
+                continue
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                j = text.find("\n", i)
+                j = n if j == -1 else j
+                emit("comment", i, j)
+                i = j
+                continue
+            if text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                j = n if j == -1 else j + 2
+                emit("comment", i, j)
+                i = j
+                continue
+
+        # Raw string literal, with optional encoding prefix (u8R"..", LR"..).
+        if c in "uUL" or c == "R":
+            m = re.match(r'(?:u8|[uUL])?R"', text[i:])
+            if m:
+                open_end = i + m.end()  # index just past the opening quote
+                dm = _RAW_OPEN_RE.match(text, open_end)
+                if dm:
+                    delim = dm.group(1)
+                    closer = ")" + delim + '"'
+                    j = text.find(closer, dm.end())
+                    j = n if j == -1 else j + len(closer)
+                    emit("string", i, j)
+                    i = j
+                    continue
+                # `R"` with no valid delimiter: fall through, lex R as ident.
+
+        # Ordinary string / char literal, with optional encoding prefix.
+        if c in "\"'" or (c in "uUL" and i + 1 < n and text[i + 1] in "\"'") or (
+                text.startswith('u8"', i) or text.startswith("u8'", i)):
+            j = i
+            if text.startswith("u8", j):
+                j += 2
+            elif text[j] in "uUL":
+                j += 1
+            if j < n and text[j] in "\"'":
+                quote = text[j]
+                k = j + 1
+                while k < n:
+                    if text[k] == "\\":
+                        k += 2
+                        continue
+                    if text[k] == quote or text[k] == "\n":
+                        # An unescaped newline means an unterminated literal;
+                        # stop the token there so line structure survives.
+                        break
+                    k += 1
+                k = min(k + 1, n) if k < n and text[k] == quote else min(k, n)
+                emit("string", i, k)
+                i = k
+                continue
+
+        # Identifier / keyword.
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            emit("ident", i, j)
+            i = j
+            continue
+
+        # Number (pp-number: digits, dots, exponents, suffixes, ' separators).
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n:
+                ch = text[j]
+                if ch in _IDENT_CONT or ch in ".'":
+                    j += 1
+                elif ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            emit("number", i, j)
+            i = j
+            continue
+
+        # Punctuator.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                emit("punct", i, i + len(p))
+                i += len(p)
+                break
+        else:
+            emit("punct", i, i + 1)
+            i += 1
+
+    return toks
+
+
+def code_tokens(tokens):
+    """Drop comments, literals and preprocessor lines: what expression-level
+    rules should see."""
+    return [t for t in tokens if t.kind in ("ident", "number", "punct")]
+
+
+def code_view(text):
+    """Return `text` with comments and string/char literals blanked out
+    (newlines kept), so byte/line offsets are stable — the v1
+    `strip_comments_and_strings` contract. Raw strings are handled correctly:
+    their content vanishes instead of desynchronizing the scan. Preprocessor
+    lines are KEPT (haplint's include rules read them)."""
+    # Precompute line-start offsets so token (line, col) maps to bytes in O(1).
+    starts = [0]
+    for k, ch in enumerate(text):
+        if ch == "\n":
+            starts.append(k + 1)
+    out = list(text)
+    for t in lex(text):
+        if t.kind == "comment" or t.kind == "string":
+            start = starts[t.line - 1] + t.col
+            for k in range(start, start + len(t.text)):
+                if out[k] != "\n":
+                    out[k] = " "
+    return "".join(out)
+
+
+def match_paren(tokens, open_index):
+    """Index of the `)` matching tokens[open_index] == `(`; len(tokens) when
+    unbalanced."""
+    return _match(tokens, open_index, "(", ")")
+
+
+def match_brace(tokens, open_index):
+    """Index of the `}` matching tokens[open_index] == `{`; len(tokens) when
+    unbalanced."""
+    return _match(tokens, open_index, "{", "}")
+
+
+def _match(tokens, open_index, op, cl):
+    depth = 0
+    for j in range(open_index, len(tokens)):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.text == op:
+            depth += 1
+        elif t.text == cl:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
