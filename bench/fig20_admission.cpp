@@ -17,25 +17,27 @@ int main() {
     std::printf("%10s | %12s %10s | %12s %10s | %10s\n", "lambda", "lbar(unb)",
                 "T(unb)", "lbar(12/60)", "T(12/60)", "saving");
 
-    // Sweep lambda so the unbounded lambda-bar covers ~6..10.5 as in the
-    // paper's x-axis.
+    // Each table cell is one core::AdmissionQuery — the same (users, apps,
+    // capacity, threshold) tuple the hapd service answers — in report-only
+    // form (delay_budget 0: numbers, no verdict). Sweep lambda so the
+    // unbounded lambda-bar covers ~6..10.5 as in the paper's x-axis.
+    AdmissionQuery unbounded_q;
+    // Paper: "originally they are set to 60 and 300, large enough".
+    unbounded_q.max_users = 60;
+    unbounded_q.max_apps = 300;
+    unbounded_q.service_rate = mu;
+    AdmissionQuery bounded_q = unbounded_q;
+    bounded_q.max_users = 12;
+    bounded_q.max_apps = 60;
+
     for (double lambda = 0.004; lambda <= 0.00701; lambda += 0.0005) {
-        HapParams unbounded = HapParams::paper_baseline(mu);
-        unbounded.user_arrival_rate = lambda;
-        // Paper: "originally they are set to 60 and 300, large enough".
-        unbounded.max_users = 60;
-        unbounded.max_apps = 300;
-
-        HapParams bounded = unbounded;
-        bounded.max_users = 12;
-        bounded.max_apps = 60;
-
-        const Solution2 su(unbounded), sb(bounded);
-        const auto qu = su.solve_queue(mu);
-        const auto qb = sb.solve_queue(mu);
+        HapParams base = HapParams::paper_baseline(mu);
+        base.user_arrival_rate = lambda;
+        const AdmissionOutcome u = evaluate_admission(base, unbounded_q);
+        const AdmissionOutcome b = evaluate_admission(base, bounded_q);
         std::printf("%10.4f | %12.3f %10.4f | %12.3f %10.4f | %9.1f%%\n", lambda,
-                    su.mean_rate(), qu.mean_delay, sb.mean_rate(), qb.mean_delay,
-                    100.0 * (qu.mean_delay - qb.mean_delay) / qu.mean_delay);
+                    u.mean_rate, u.mean_delay, b.mean_rate, b.mean_delay,
+                    100.0 * (u.mean_delay - b.mean_delay) / u.mean_delay);
     }
 
     // Simulation spot check at the baseline point.

@@ -20,6 +20,32 @@ double delay_or_inf(const Solution2& sol, double service_rate) {
 
 }  // namespace
 
+void AdmissionQuery::validate() const {
+    HAP_CHECK_FINITE(service_rate);
+    HAP_CHECK_FINITE(delay_budget);
+    HAP_PRECOND(service_rate > 0.0);
+    HAP_PRECOND(delay_budget >= 0.0);
+}
+
+AdmissionOutcome evaluate_admission(const HapParams& base, const AdmissionQuery& q) {
+    q.validate();
+    HapParams p = base;
+    p.max_users = q.max_users;
+    p.max_apps = q.max_apps;
+    const Solution2 sol(p);
+    AdmissionOutcome out;
+    out.mean_rate = sol.mean_rate();
+    const auto queue = sol.solve_queue(q.service_rate);
+    out.sigma = queue.sigma;
+    out.stable = queue.stable;
+    out.mean_delay =
+        queue.stable ? queue.mean_delay : std::numeric_limits<double>::infinity();
+    out.admit = out.stable &&
+                (q.delay_budget == 0.0 ||  // haplint: allow(float-equality) 0 is the report-only sentinel, set exactly
+                 out.mean_delay <= q.delay_budget);
+    return out;
+}
+
 std::vector<AdmissionPoint> admission_sweep(
     const HapParams& base, double service_rate,
     const std::vector<std::pair<std::size_t, std::size_t>>& bounds) {
@@ -28,13 +54,15 @@ std::vector<AdmissionPoint> admission_sweep(
     std::vector<AdmissionPoint> out;
     out.reserve(bounds.size());
     for (const auto& [mu_users, mu_apps] : bounds) {
-        HapParams p = base;
-        p.max_users = mu_users;
-        p.max_apps = mu_apps;
-        const Solution2 sol(p);
-        const auto q = sol.solve_queue(service_rate);
-        out.push_back(AdmissionPoint{mu_users, mu_apps, sol.mean_rate(), q.sigma,
-                                     q.mean_delay});
+        AdmissionQuery q;
+        q.max_users = mu_users;
+        q.max_apps = mu_apps;
+        q.service_rate = service_rate;
+        const AdmissionOutcome o = evaluate_admission(base, q);
+        // Historical sweep convention: an unstable point reports delay 0, not
+        // the outcome's +inf sentinel.
+        out.push_back(AdmissionPoint{mu_users, mu_apps, o.mean_rate, o.sigma,
+                                     o.stable ? o.mean_delay : 0.0});
     }
     return out;
 }

@@ -21,6 +21,35 @@ struct AdmissionPoint {
     double mean_delay = 0.0;
 };
 
+// One admission-control question, the paper's Fig. 20 tuple: CAN this many
+// users (and application instances) be carried at this CAPACITY within this
+// delay THRESHOLD? Shared by bench/fig20_admission, hapctl, and the hapd
+// service so the tuple and its validation exist exactly once.
+struct AdmissionQuery {
+    std::size_t max_users = 0;   // admitted-user bound; 0 = unbounded
+    std::size_t max_apps = 0;    // total application-instance bound; 0 = unbounded
+    double service_rate = 0.0;   // capacity, messages/s
+    double delay_budget = 0.0;   // threshold, seconds; 0 = report-only (no verdict)
+    // Throws ContractViolation (finite, service_rate > 0, delay_budget >= 0).
+    void validate() const;
+};
+
+// The answer: the bounded workload's Solution-2 operating point plus the
+// verdict. `admit` is true when the queue is stable and (with a nonzero
+// threshold) the mean delay meets it; report-only queries admit on stability
+// alone. An unstable queue reports mean_delay = +infinity.
+struct AdmissionOutcome {
+    double mean_rate = 0.0;   // lambda-bar under the query's bounds
+    double sigma = 0.0;
+    double mean_delay = 0.0;  // +inf when unstable
+    bool stable = false;
+    bool admit = false;
+};
+
+// Evaluate one admission query against `base` with the query's bounds
+// substituted (the query owns max_users/max_apps; base's bounds are ignored).
+AdmissionOutcome evaluate_admission(const HapParams& base, const AdmissionQuery& q);
+
 // Evaluate bounded variants of `base` at each (max_users, max_apps) pair;
 // a pair of zeros evaluates the unbounded HAP.
 std::vector<AdmissionPoint> admission_sweep(

@@ -50,12 +50,21 @@ std::vector<AnalyticPointResult> run_analytic_sweep(const std::vector<AnalyticPo
     core::Solution0State carry_prev;  // two points back (secant predictor)
     double coord1 = 0.0;
     double coord0 = 0.0;
+    if (opts.warm_start && opts.seed != nullptr && !opts.seed->empty()) {
+        // External seed (a cached neighbor's state): the first point warm-
+        // starts exactly as if the seed had been the previous chain point.
+        carry = *opts.seed;
+        coord1 = opts.seed_coord;
+    }
     std::size_t cold_sweeps = 0;  // first point's cost = the cold baseline
     std::size_t failed_points = 0;
     for (std::size_t idx = 0; idx < grid.size(); ++idx) {
         const AnalyticPoint& pt = grid[idx];
         core::Solution0Options o = opts.solver;
         o.adaptive = opts.adaptive;
+        // Without the warm chain the exported state is simply each point's
+        // own converged lattice (keep_state passes through untouched below).
+        o.keep_state = opts.export_states;
         if (opts.warm_start) {
             o.keep_state = true;
             if (!carry.empty()) {
@@ -160,7 +169,9 @@ std::vector<AnalyticPointResult> run_analytic_sweep(const std::vector<AnalyticPo
                 coord0 = coord1;
                 carry = std::move(res.s0.state);
                 coord1 = pt.coord;
-                res.s0.state = core::Solution0State{};
+                // export_states hands the caller a copy; the chain keeps the
+                // original for the next point's warm start.
+                res.s0.state = opts.export_states ? carry : core::Solution0State{};
             } else {
                 // Never continue from a degraded/failed point: drop the chain
                 // so the next point cold-starts from the product-form guess.

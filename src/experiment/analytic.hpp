@@ -44,6 +44,19 @@ struct AnalyticSweepOptions {
     // Per-point solver settings (tol, bounds, trunc_tol, ...). The warm /
     // keep_state / adaptive fields are managed by the sweep itself.
     core::Solution0Options solver;
+    // External continuation seed: warm-start the FIRST point of the chain
+    // from a state solved outside this call (the hapd operating-point cache
+    // hands in its nearest solved neighbor here). `seed_coord` is that
+    // state's sweep coordinate, which arms the secant predictor as soon as
+    // the chain has a second state. Ignored unless warm_start is on; the
+    // pointee must outlive the call.
+    const core::Solution0State* seed = nullptr;
+    double seed_coord = 0.0;
+    // Leave each converged point's lattice state in its result
+    // (AnalyticPointResult::s0.state) instead of dropping it with the chain,
+    // so callers can cache states for future warm starts. Costs one copy of
+    // the lattice per point; off for plain sweeps.
+    bool export_states = false;
 };
 
 struct [[nodiscard]] AnalyticPointResult {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "experiment/atomic_file.hpp"
+#include "experiment/faultinject.hpp"
 
 namespace hap::experiment {
 
@@ -147,8 +148,8 @@ const CheckpointEntry* CheckpointData::find(const std::string& scenario,
     return hit;
 }
 
-CheckpointData read_checkpoint(const std::string& path) {
-    CheckpointData data;
+RawCheckpoint read_checkpoint_raw(const std::string& path) {
+    RawCheckpoint data;
     std::string text;
     if (!read_file(path, text)) return data;  // missing file = fresh start
 
@@ -177,6 +178,18 @@ CheckpointData read_checkpoint(const std::string& path) {
             saw_header = true;
             continue;
         }
+        data.records.push_back(std::move(j));
+        data.torn_tail = torn;
+    }
+    return data;
+}
+
+CheckpointData read_checkpoint(const std::string& path) {
+    RawCheckpoint raw = read_checkpoint_raw(path);
+    CheckpointData data;
+    data.config = std::move(raw.config);
+    for (std::size_t i = 0; i < raw.records.size(); ++i) {
+        const Json& j = raw.records[i];
         try {
             CheckpointEntry e;
             e.scenario = j.at("scenario").as_string();
@@ -190,14 +203,28 @@ CheckpointData read_checkpoint(const std::string& path) {
             }
             data.entries.push_back(std::move(e));
         } catch (const std::exception& e) {
-            if (torn) break;
+            // A structurally valid but incomplete FINAL record on a torn line
+            // is the interrupted write; anything else is corruption.
+            if (raw.torn_tail && i + 1 == raw.records.size()) break;
             throw std::runtime_error("checkpoint " + path + ": bad record: " + e.what());
         }
     }
     return data;
 }
 
-CheckpointWriter::CheckpointWriter(const std::string& path, const std::string& config) {
+CheckpointWriter::CheckpointWriter(const std::string& path, const std::string& config)
+    : path_(path) {
+    // Repair a torn tail BEFORE appending: a crash mid-record leaves a final
+    // line with no terminator, and appending onto it would weld the next
+    // record to the debris — turning a tolerated torn tail into an interior
+    // corrupt line. Cut the file back to its last complete line.
+    std::string text;
+    if (read_file(path, text) && !text.empty() && text.back() != '\n') {
+        const std::size_t keep = text.find_last_of('\n');
+        const off_t len = keep == std::string::npos ? 0 : static_cast<off_t>(keep + 1);
+        if (::truncate(path.c_str(), len) != 0)
+            throw std::runtime_error("checkpoint: cannot repair torn tail of " + path);
+    }
     // "a" preserves completed records when resuming; ftell distinguishes a
     // fresh file (write the header) from a continued one.
     file_ = std::fopen(path.c_str(), "a");
@@ -218,6 +245,17 @@ CheckpointWriter::~CheckpointWriter() {
 void CheckpointWriter::write_line(const Json& j) {
     const std::string line = j.dump(0) + "\n";
     const core::MutexLock lock(mutex_);
+    // Deterministic crash-in-the-middle-of-a-record: a write@<path> fault
+    // plan entry flushes HALF the record (no newline) and then fails, leaving
+    // exactly the torn tail a kill -9 mid-fwrite would — the shape the
+    // torn-tail tolerance of read_checkpoint_raw is tested against.
+    if (fault_fires(FaultKind::WriteAbort, path_, 0)) {
+        const std::size_t half = line.size() / 2;
+        (void)std::fwrite(line.data(), 1, half, file_);
+        (void)std::fflush(file_);
+        (void)::fsync(fileno(file_));
+        throw std::runtime_error("injected fault: torn checkpoint write to " + path_);
+    }
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fflush(file_) != 0) {
         throw std::runtime_error("checkpoint: write failed");
@@ -245,6 +283,12 @@ void CheckpointWriter::record_failure(const std::string& scenario, std::uint64_t
     f.set("what", Json::string(what));
     j.set("failure", std::move(f));
     write_line(j);
+}
+
+void CheckpointWriter::record_custom(const Json& record) {
+    if (!record.is_object())
+        throw std::invalid_argument("checkpoint: custom record must be an object");
+    write_line(record);
 }
 
 }  // namespace hap::experiment

@@ -59,6 +59,27 @@ struct CheckpointData {
 // line throws std::runtime_error (the file is corrupt, not merely truncated).
 CheckpointData read_checkpoint(const std::string& path);
 
+// Format-level view of a checkpoint: the validated header config plus every
+// post-header line parsed as raw JSON, with the sweep-record interpretation
+// left to the caller. This is what lets other subsystems (the hapd operating-
+// point cache) reuse the hap.ckpt/v1 container — append-only JSON-Lines,
+// fsync per record, torn-tail tolerant — with their own record payloads.
+struct RawCheckpoint {
+    std::string config;
+    std::vector<Json> records;
+    // The final record reached EOF without a newline terminator (the write a
+    // crash interrupted) but still parsed as complete JSON. Callers should
+    // treat a semantically malformed final record as torn (drop it) when this
+    // is set, and as corruption (throw) otherwise. A torn line that does not
+    // even parse as JSON is dropped here and never surfaces.
+    bool torn_tail = false;
+};
+
+// Same tolerance rules as read_checkpoint: missing file = empty fresh start,
+// unparseable torn final line dropped, malformed header or interior line
+// throws std::runtime_error.
+RawCheckpoint read_checkpoint_raw(const std::string& path);
+
 // Append-mode checkpoint writer. Thread-safe: pool workers call record()
 // concurrently; each record is one line, flushed and fsync'ed before the
 // call returns. Record order in the file is schedule-dependent and
@@ -79,6 +100,12 @@ public:
     void record_failure(const std::string& scenario, std::uint64_t rep,
                         const std::string& stage, const std::string& what);
 
+    // Append one caller-defined record object (read back via
+    // read_checkpoint_raw). The sweep-record readers above ignore unknown
+    // shapes only by failing loudly, so a file mixes record kinds at its own
+    // peril — the service cache keeps its records in a dedicated file.
+    void record_custom(const Json& record);
+
 private:
     void write_line(const Json& j);
 
@@ -87,6 +114,7 @@ private:
     // other touch is a pool worker and must hold mutex_.
     core::Mutex mutex_;
     std::FILE* file_ HAP_GUARDED_BY(mutex_) = nullptr;
+    std::string path_;  // for error text and fault-plan matching
 };
 
 }  // namespace hap::experiment

@@ -1,0 +1,164 @@
+#include "service/cache.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "service/protocol.hpp"
+
+namespace hap::service {
+
+namespace {
+
+using experiment::Json;
+
+// Shortest-round-trip double text (what Json::number emits), so the key of a
+// parameter is exactly the bytes its JSON form would carry.
+std::string dtoa(double v) {
+    Json j = Json::number(v);
+    return j.dump(0);
+}
+
+}  // namespace
+
+std::string solve_key(const ModelSpec& model) {
+    std::string k = "s0:";
+    k += dtoa(model.lambda);
+    k += solve_family(model).substr(3);  // family already encodes the rest
+    return k;
+}
+
+std::string solve_family(const ModelSpec& model) {
+    // Everything except lambda (the continuation coordinate), in fixed order.
+    std::string f = "f0:";
+    f += ';' + dtoa(model.mu);
+    f += ';' + dtoa(model.lambda1);
+    f += ';' + dtoa(model.mu1);
+    f += ';' + std::to_string(model.l);
+    f += ';' + dtoa(model.lambda2);
+    f += ';' + std::to_string(model.m);
+    f += ';' + dtoa(model.service);
+    f += ';' + std::to_string(model.max_users);
+    f += ';' + std::to_string(model.max_apps);
+    return f;
+}
+
+std::string admission_key(const ModelSpec& model, double delay_budget) {
+    return "adm:" + dtoa(delay_budget) + ';' + solve_key(model);
+}
+
+PointCache::PointCache(std::string path, std::string config) {
+    if (path.empty()) return;
+    const experiment::RawCheckpoint raw = experiment::read_checkpoint_raw(path);
+    if (!raw.config.empty() && raw.config != config) {
+        throw std::runtime_error("cache " + path + " was written with config \"" +
+                                 raw.config + "\" (want \"" + config + "\")");
+    }
+    for (std::size_t i = 0; i < raw.records.size(); ++i) {
+        const Json& rec = raw.records[i];
+        try {
+            const Json& p = rec.at("point");
+            CachedPoint cp;
+            cp.key = p.at("key").as_string();
+            cp.family = p.find("family") != nullptr ? p.at("family").as_string() : "";
+            cp.coord = p.find("coord") != nullptr ? p.at("coord").as_number() : 0.0;
+            cp.kind = p.at("kind").as_string();
+            cp.quality = p.at("quality").as_string();
+            cp.result = p.at("result");
+            // Later records win (a re-solve of a torn point supersedes).
+            bool replaced = false;
+            for (CachedPoint& e : entries_) {
+                if (e.key == cp.key) {
+                    e = std::move(cp);
+                    replaced = true;
+                    break;
+                }
+            }
+            if (!replaced) entries_.push_back(std::move(cp));
+        } catch (const std::exception& e) {
+            // A semantically incomplete FINAL record on a torn line is the
+            // write the crash interrupted; anything else is corruption.
+            if (raw.torn_tail && i + 1 == raw.records.size()) break;
+            throw std::runtime_error("cache " + path + ": bad record: " + e.what());
+        }
+    }
+    loaded_ = entries_.size();
+    writer_.emplace(path, config);
+}
+
+std::optional<CacheLookup> PointCache::lookup(const std::string& key) const {
+    const core::MutexLock lock(mutex_);
+    for (const CachedPoint& e : entries_) {
+        if (e.key == key) return CacheLookup{e.result, e.quality};
+    }
+    return std::nullopt;
+}
+
+std::optional<NearestState> PointCache::nearest(const std::string& family,
+                                                double coord) const {
+    const core::MutexLock lock(mutex_);
+    const CachedPoint* best = nullptr;
+    double best_dist = 0.0;
+    for (const CachedPoint& e : entries_) {
+        if (e.family != family || e.state.empty() || e.quality != "ok") continue;
+        const double dist = std::abs(e.coord - coord);
+        if (best == nullptr || dist < best_dist ||
+            (dist == best_dist && e.coord < best->coord)) {  // haplint: allow(float-equality) deterministic tie-break on identical distances
+            best = &e;
+            best_dist = dist;
+        }
+    }
+    if (best == nullptr) return std::nullopt;
+    return NearestState{best->state, best->coord};
+}
+
+void PointCache::insert(CachedPoint point) {
+    Json rec = Json::object();
+    {
+        Json p = Json::object();
+        p.set("key", Json::string(point.key));
+        if (!point.family.empty()) {
+            p.set("family", Json::string(point.family));
+            p.set("coord", Json::number(point.coord));
+        }
+        p.set("kind", Json::string(point.kind));
+        p.set("quality", Json::string(point.quality));
+        p.set("result", point.result);
+        rec.set("point", std::move(p));
+    }
+
+    const core::MutexLock lock(mutex_);
+    bool replaced = false;
+    for (CachedPoint& e : entries_) {
+        if (e.key == point.key) {
+            e = std::move(point);
+            replaced = true;
+            break;
+        }
+    }
+    if (!replaced) entries_.push_back(std::move(point));
+    if (writer_.has_value()) {
+        try {
+            writer_->record_custom(rec);
+        } catch (const std::exception&) {
+            // Contain: the answer is already served from memory; a torn tail
+            // on disk is tolerated at the next startup. Disable the writer —
+            // after a partial record, appending more would corrupt the file.
+            writer_.reset();
+            ++persist_errors_;
+        }
+    }
+}
+
+std::size_t PointCache::size() const {
+    const core::MutexLock lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t PointCache::persist_errors() const {
+    const core::MutexLock lock(mutex_);
+    return persist_errors_;
+}
+
+}  // namespace hap::service

@@ -1,0 +1,110 @@
+// Persistent cache of solved operating points for the hapd service.
+//
+// Keying (DESIGN.md §4j): an operating point is the flat ModelSpec tuple,
+// canonicalized field-by-field with shortest-round-trip double formatting, so
+// two requests name the same cache line iff their parameters are bit-equal —
+// no tolerance-based aliasing, which is what makes a cache hit a byte-exact
+// replay of the stored solve rather than "approximately the same answer".
+// Admission entries add the delay threshold under an "adm:" prefix.
+//
+// Every solve entry remembers its FAMILY — the key with the swept coordinate
+// (the user arrival rate lambda, the paper's Fig. 12 load knob) struck out —
+// and the in-memory converged lattice state. A miss first asks the family
+// for its nearest solved neighbor by coordinate and continuation-warm-starts
+// from that state (PR 4 machinery); states are deliberately NOT persisted
+// (they are megabytes where the scalars are bytes), so a restarted daemon
+// answers old points as exact hits from disk and rebuilds warm-start states
+// as new solves happen.
+//
+// Persistence reuses the hap.ckpt/v1 JSON-Lines container (PR 5): one
+// fsync'ed record per solved point, append-only, torn-tail tolerant. A
+// daemon killed mid-record loses at most that record; restart serves every
+// previously completed point from the cache without re-solving.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solution0.hpp"
+#include "core/thread_safety.hpp"
+#include "experiment/checkpoint.hpp"
+#include "experiment/json.hpp"
+
+namespace hap::service {
+
+struct ModelSpec;
+
+// Canonical cache key / family / coordinate for a solve-type operating point.
+std::string solve_key(const ModelSpec& model);
+std::string solve_family(const ModelSpec& model);  // key minus lambda
+// Admission entries: solve key + threshold under a distinguishing prefix.
+std::string admission_key(const ModelSpec& model, double delay_budget);
+
+// One cached answer. `result` holds the exact response payload members the
+// original solve produced; replaying it is byte-identical by construction.
+struct CachedPoint {
+    std::string key;
+    std::string family;   // empty for admission entries
+    double coord = 0.0;   // lambda, for nearest-neighbor lookup
+    std::string kind;     // "solve" | "admission"
+    std::string quality;  // "ok" | "degraded"
+    experiment::Json result;
+    core::Solution0State state;  // in-memory only; empty for restored entries
+};
+
+struct CacheLookup {
+    experiment::Json result;
+    std::string quality;
+};
+
+// A warm-start candidate: the nearest solved neighbor's lattice and coordinate.
+struct NearestState {
+    core::Solution0State state;
+    double coord = 0.0;
+};
+
+class PointCache {
+public:
+    // `path` empty = memory-only. Otherwise loads the existing file (missing
+    // file = fresh start, torn tail dropped, corruption throws) and appends
+    // every future insert to it. `config` is the header fingerprint; a file
+    // written with a different config is rejected.
+    explicit PointCache(std::string path, std::string config = "hapd-cache/v1");
+
+    PointCache(const PointCache&) = delete;
+    PointCache& operator=(const PointCache&) = delete;
+
+    // Exact-key lookup; copies the stored answer out (never the state).
+    std::optional<CacheLookup> lookup(const std::string& key) const;
+
+    // Nearest solved "ok" neighbor in `family` by |coord - its coord| that
+    // still holds an in-memory state. Ties break toward the lower coordinate
+    // (deterministic). nullopt when the family has no warm candidate.
+    std::optional<NearestState> nearest(const std::string& family, double coord) const;
+
+    // Insert (or overwrite) a point and append it to the cache file. A
+    // persistence failure — including an injected write@<path> fault tearing
+    // the record mid-line — is contained: the entry stays served from memory,
+    // the writer is disabled for the rest of the process, and the failure is
+    // counted (hapd.cache.persist_errors) for the scrape endpoint.
+    void insert(CachedPoint point);
+
+    std::size_t size() const;
+    // Entries restored from disk by the constructor.
+    std::size_t loaded() const noexcept { return loaded_; }
+    // Persistence failures since startup.
+    std::size_t persist_errors() const;
+
+private:
+    mutable core::Mutex mutex_;
+    // Insertion-ordered (deterministic iteration for nearest()); linear scans
+    // are fine at the entry counts a key-exact cache sees.
+    std::vector<CachedPoint> entries_ HAP_GUARDED_BY(mutex_);
+    std::optional<experiment::CheckpointWriter> writer_ HAP_GUARDED_BY(mutex_);
+    std::size_t persist_errors_ HAP_GUARDED_BY(mutex_) = 0;
+    std::size_t loaded_ = 0;  // set once in the constructor
+};
+
+}  // namespace hap::service

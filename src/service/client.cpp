@@ -1,0 +1,108 @@
+#include "service/client.hpp"
+
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace hap::service {
+
+Client Client::connect_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("socket path too long: " + path);
+    path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("cannot create socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw std::runtime_error("cannot connect to " + path);
+    }
+    return Client(fd);
+}
+
+Client Client::connect_tcp(int port, const std::string& host) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("bad host address: " + host);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("cannot create socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw std::runtime_error("cannot connect to " + host + ":" +
+                                 std::to_string(port));
+    }
+    return Client(fd);
+}
+
+Client::~Client() {
+    if (fd_ >= 0) (void)::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+    other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) (void)::close(fd_);
+        fd_ = other.fd_;
+        reader_ = std::move(other.reader_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Client::send_raw(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error("send failed (connection lost)");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void Client::send(const std::string& body) { send_raw(encode_frame(body)); }
+
+std::optional<std::string> Client::recv() {
+    for (;;) {
+        if (auto body = reader_.next()) return body;
+        if (reader_.failed())
+            throw std::runtime_error("response framing error: " + reader_.error());
+        char buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n == 0) return std::nullopt;
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error("recv failed (connection lost)");
+        }
+        reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+}
+
+std::string Client::call(const std::string& body) {
+    send(body);
+    auto response = recv();
+    if (!response.has_value())
+        throw std::runtime_error("connection closed before a response arrived");
+    return *response;
+}
+
+void Client::shutdown_write() {
+    if (fd_ >= 0) (void)::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace hap::service

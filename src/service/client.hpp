@@ -1,0 +1,51 @@
+// Blocking hapd client: connect, exchange length-prefixed frames, parse
+// responses. Used by `hapctl query`, the serving test harness, and the
+// protocol fuzz tests (send_raw lets a test write deliberately broken bytes).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/protocol.hpp"
+
+namespace hap::service {
+
+class Client {
+public:
+    // Connect to a Unix-domain socket path or to loopback TCP. Throw
+    // std::runtime_error when the daemon is not there.
+    static Client connect_unix(const std::string& path);
+    static Client connect_tcp(int port, const std::string& host = "127.0.0.1");
+
+    ~Client();
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    // One round trip: frame `body`, send, block for the next response body.
+    // Throws std::runtime_error when the connection drops mid-call.
+    std::string call(const std::string& body);
+
+    // Halves of call(), for pipelined or deliberately odd exchanges.
+    void send(const std::string& body);
+    // Next response body; nullopt on orderly EOF. Throws on a framing error
+    // in the response stream (a server never sends one; seeing it is a bug).
+    std::optional<std::string> recv();
+
+    // Write raw bytes with no framing — the fuzz tests' door.
+    void send_raw(std::string_view bytes);
+    // Half-close the write side (models a client vanishing mid-frame).
+    void shutdown_write();
+
+    bool connected() const noexcept { return fd_ >= 0; }
+
+private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+}  // namespace hap::service

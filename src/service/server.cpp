@@ -1,0 +1,617 @@
+#include "service/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "experiment/analytic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "parallel/pool.hpp"
+
+namespace hap::service {
+
+namespace {
+
+using experiment::Json;
+
+void count(const char* name, std::uint64_t delta = 1) {
+    if (obs::enabled()) obs::registry().add_counter(name, delta);
+}
+
+// Full-buffer send; EINTR retried, SIGPIPE suppressed (a vanished client is
+// an ordinary condition for a daemon, not a process-killing event).
+bool send_all(int fd, std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void set_io_timeouts(int fd, int timeout_ms) {
+    if (timeout_ms <= 0) return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Json solve_result_json(const core::Solution0Result& s0) {
+    Json r = Json::object();
+    r.set("mean_delay", Json::number(s0.mean_delay));
+    r.set("utilization", Json::number(s0.utilization));
+    r.set("sigma", Json::number(s0.sigma));
+    r.set("mean_messages", Json::number(s0.mean_messages));
+    r.set("mean_rate", Json::number(s0.mean_rate));
+    r.set("mean_users", Json::number(s0.mean_users));
+    r.set("mean_apps", Json::number(s0.mean_apps));
+    r.set("truncation_mass", Json::number(s0.truncation_mass));
+    r.set("states", Json::integer(static_cast<std::uint64_t>(s0.states)));
+    r.set("sweeps", Json::integer(static_cast<std::uint64_t>(s0.sweeps)));
+    r.set("converged", Json::boolean(s0.converged));
+    r.set("warm_started", Json::boolean(s0.warm_started));
+    return r;
+}
+
+// One client's claim on a (possibly shared) solve. Fields other than `done`
+// are written by the batch leader BEFORE done is set under the solve mutex,
+// so a woken waiter reads them race-free.
+struct Waiter {
+    bool done = false;
+    std::string source;   // "warm" | "cold"
+    std::string quality;  // "ok" | "degraded"
+    std::string error;    // non-empty = solve failed
+    std::size_t batch = 1;
+    Json result;
+};
+
+struct PendingReq {
+    std::string key;
+    double coord = 0.0;
+    ModelSpec model;
+    std::shared_ptr<Waiter> waiter;
+};
+
+}  // namespace
+
+struct Hapd::Impl {
+    ServeOptions opts;
+    PointCache point_cache;
+
+    int listen_fd = -1;
+    int resolved_port = 0;
+    std::atomic<bool> stopping{false};
+    std::unique_ptr<parallel::Pool> pool;
+
+    // Open client connections, so stop() can unblock handlers parked in recv.
+    std::mutex conn_mutex;
+    std::set<int> conns;
+
+    // wait()/shutdown-op handshake.
+    std::mutex stop_mutex;
+    std::condition_variable stop_cv;
+    bool stop_requested = false;
+
+    // Batching state: per-family pending queues and the in-flight leader set.
+    std::mutex solve_mutex;
+    std::condition_variable solve_cv;
+    std::map<std::string, std::vector<PendingReq>> pending;
+    std::set<std::string> in_flight;
+
+    explicit Impl(ServeOptions o)
+        : opts(std::move(o)), point_cache(opts.cache_path) {}
+
+    void log(const std::string& line) {
+        if (opts.log) opts.log(line);
+    }
+
+    void request_stop() {
+        stopping.store(true);
+        {
+            const std::lock_guard<std::mutex> lock(stop_mutex);
+            stop_requested = true;
+        }
+        stop_cv.notify_all();
+    }
+
+    // --- query handlers ----------------------------------------------------
+
+    std::string handle_solve(const Request& req) {
+        const obs::ScopedTimer timer("hapd.latency.solve");
+        count("hapd.queries.solve");
+        const std::string key = solve_key(req.model);
+        if (auto hit = point_cache.lookup(key)) {
+            count("hapd.cache.hits");
+            Json payload = Json::object();
+            payload.set("source", Json::string("hit"));
+            payload.set("quality", Json::string(hit->quality));
+            payload.set("result", std::move(hit->result));
+            return ok_response(req.id, payload);
+        }
+        count("hapd.cache.misses");
+        const std::shared_ptr<Waiter> w = enqueue_and_solve(req);
+        if (!w->error.empty()) return error_response(req.id, "solve-failed", w->error);
+        Json payload = Json::object();
+        payload.set("source", Json::string(w->source));
+        payload.set("quality", Json::string(w->quality));
+        if (w->batch > 1)
+            payload.set("batch", Json::integer(static_cast<std::uint64_t>(w->batch)));
+        payload.set("result", std::move(w->result));
+        return ok_response(req.id, payload);
+    }
+
+    std::string handle_admission(const Request& req) {
+        const obs::ScopedTimer timer("hapd.latency.admission");
+        count("hapd.queries.admission");
+        const std::string key = admission_key(req.model, req.delay_budget);
+        if (auto hit = point_cache.lookup(key)) {
+            count("hapd.cache.hits");
+            Json payload = Json::object();
+            payload.set("source", Json::string("hit"));
+            payload.set("quality", Json::string(hit->quality));
+            payload.set("result", std::move(hit->result));
+            return ok_response(req.id, payload);
+        }
+        count("hapd.cache.misses");
+        const core::AdmissionOutcome o =
+            core::evaluate_admission(req.model.params(), req.admission_query());
+        Json r = Json::object();
+        r.set("admit", Json::boolean(o.admit));
+        r.set("stable", Json::boolean(o.stable));
+        r.set("mean_rate", Json::number(o.mean_rate));
+        r.set("sigma", Json::number(o.sigma));
+        if (o.stable) r.set("mean_delay", Json::number(o.mean_delay));
+
+        CachedPoint cp;
+        cp.key = key;
+        cp.kind = "admission";
+        cp.quality = "ok";
+        cp.result = r;
+        point_cache.insert(std::move(cp));
+
+        Json payload = Json::object();
+        payload.set("source", Json::string("cold"));
+        payload.set("quality", Json::string("ok"));
+        payload.set("result", std::move(r));
+        return ok_response(req.id, payload);
+    }
+
+    std::string handle_metrics(const Request& req) {
+        count("hapd.queries.metrics");
+        Json payload = Json::object();
+        const obs::MetricsSnapshot snap = obs::registry().snapshot();
+        Json counters = Json::object();
+        for (const auto& [name, value] : snap.counters)
+            counters.set(name, Json::integer(value));
+        payload.set("counters", std::move(counters));
+        Json cache_info = Json::object();
+        cache_info.set("size",
+                       Json::integer(static_cast<std::uint64_t>(point_cache.size())));
+        cache_info.set("loaded",
+                       Json::integer(static_cast<std::uint64_t>(point_cache.loaded())));
+        cache_info.set("persist_errors",
+                       Json::integer(
+                           static_cast<std::uint64_t>(point_cache.persist_errors())));
+        payload.set("cache", std::move(cache_info));
+        payload.set("text", Json::string(obs::registry().report()));
+        return ok_response(req.id, payload);
+    }
+
+    // Returns (response body, shutdown-after-send).
+    std::pair<std::string, bool> handle_request(const std::string& body) {
+        const obs::ScopedTimer timer("hapd.latency.request");
+        count("hapd.queries");
+        Request req;
+        try {
+            req = parse_request(body);
+        } catch (const ProtocolError& e) {
+            count("hapd.protocol.errors");
+            return {error_response("", "bad-request", e.what()), false};
+        }
+        try {
+            switch (req.op) {
+                case Op::Ping: {
+                    count("hapd.queries.ping");
+                    Json payload = Json::object();
+                    payload.set("pong", Json::boolean(true));
+                    return {ok_response(req.id, payload), false};
+                }
+                case Op::Solve:
+                    return {handle_solve(req), false};
+                case Op::Admission:
+                    return {handle_admission(req), false};
+                case Op::Metrics:
+                    return {handle_metrics(req), false};
+                case Op::Shutdown: {
+                    count("hapd.queries.shutdown");
+                    Json payload = Json::object();
+                    payload.set("stopping", Json::boolean(true));
+                    return {ok_response(req.id, payload), true};
+                }
+            }
+        } catch (const std::exception& e) {
+            count("hapd.internal.errors");
+            return {error_response(req.id, "internal", e.what()), false};
+        }
+        return {error_response(req.id, "internal", "unreachable op"), false};
+    }
+
+    // --- batched solve path ------------------------------------------------
+
+    std::shared_ptr<Waiter> enqueue_and_solve(const Request& req) {
+        const std::string family = solve_family(req.model);
+        const std::string key = solve_key(req.model);
+        std::unique_lock<std::mutex> lock(solve_mutex);
+        std::shared_ptr<Waiter> w;
+        for (const PendingReq& p : pending[family]) {
+            if (p.key == key) {
+                w = p.waiter;  // identical pending query: share one solve
+                break;
+            }
+        }
+        if (w == nullptr) {
+            w = std::make_shared<Waiter>();
+            pending[family].push_back(PendingReq{key, req.model.lambda, req.model, w});
+        }
+        if (in_flight.count(family) != 0) {
+            count("hapd.batch.followers");
+            solve_cv.wait(lock, [&] { return w->done; });
+            return w;
+        }
+        in_flight.insert(family);
+        for (;;) {
+            const auto it = pending.find(family);
+            if (it == pending.end() || it->second.empty()) {
+                if (it != pending.end()) pending.erase(it);
+                break;
+            }
+            std::vector<PendingReq> batch = std::move(it->second);
+            pending.erase(it);
+            lock.unlock();
+            const std::vector<std::shared_ptr<Waiter>> finished =
+                solve_batch(family, std::move(batch));
+            lock.lock();
+            for (const std::shared_ptr<Waiter>& fin : finished) fin->done = true;
+            solve_cv.notify_all();
+        }
+        in_flight.erase(family);
+        lock.unlock();
+        solve_cv.notify_all();
+        return w;
+    }
+
+    std::vector<std::shared_ptr<Waiter>> solve_batch(const std::string& family,
+                                                     std::vector<PendingReq> batch) {
+        count("hapd.batch.rounds");
+        // Deterministic grid: ascending continuation coordinate (key breaks
+        // exact-coordinate ties, which can only be distinct bounds/shapes).
+        std::stable_sort(batch.begin(), batch.end(),
+                         [](const PendingReq& a, const PendingReq& b) {
+                             return std::tie(a.coord, a.key) < std::tie(b.coord, b.key);
+                         });
+        struct Point {
+            std::string key;
+            double coord = 0.0;
+            ModelSpec model;
+            std::vector<std::shared_ptr<Waiter>> waiters;
+        };
+        std::vector<Point> points;
+        for (PendingReq& p : batch) {
+            if (!points.empty() && points.back().key == p.key) {
+                points.back().waiters.push_back(std::move(p.waiter));
+            } else {
+                Point pt;
+                pt.key = std::move(p.key);
+                pt.coord = p.coord;
+                pt.model = p.model;
+                pt.waiters.push_back(std::move(p.waiter));
+                points.push_back(std::move(pt));
+            }
+        }
+
+        std::vector<std::shared_ptr<Waiter>> finished;
+        const auto deliver = [&](Point& pt, const std::string& source,
+                                 const std::string& quality, Json result,
+                                 const std::string& error, std::size_t batch_size) {
+            for (const std::shared_ptr<Waiter>& w : pt.waiters) {
+                w->source = source;
+                w->quality = quality;
+                w->error = error;
+                w->batch = batch_size;
+                w->result = result;
+                finished.push_back(w);
+            }
+        };
+
+        // A solve that raced us may have landed these keys already.
+        std::vector<Point> todo;
+        for (Point& pt : points) {
+            if (auto hit = point_cache.lookup(pt.key)) {
+                count("hapd.cache.hits");
+                deliver(pt, "hit", hit->quality, std::move(hit->result), "", 1);
+            } else {
+                todo.push_back(std::move(pt));
+            }
+        }
+        if (todo.empty()) return finished;
+        if (todo.size() > 1) count("hapd.batch.coalesced", todo.size() - 1);
+
+        // Continuation chain over the batch, seeded from the family's nearest
+        // solved neighbor (PR 4 warm-start machinery end to end).
+        const std::optional<NearestState> seed =
+            point_cache.nearest(family, todo.front().coord);
+
+        experiment::AnalyticSweepOptions sweep;
+        sweep.warm_start = true;
+        sweep.adaptive = true;
+        sweep.fallback = true;
+        sweep.export_states = true;
+        sweep.solver.tol = opts.tol;
+        sweep.solver.trunc_tol = opts.trunc_tol;
+        sweep.solver.max_sweeps = opts.max_sweeps;
+        sweep.solver.max_messages = opts.zmax;
+        sweep.solver.check_every = 10;
+        sweep.solver.budget = opts.budget;
+        sweep.solver.threads = opts.solver_threads;
+        if (opts.solver_threads != 1) sweep.solver.coloring = markov::ColoringMode::kColored;
+        if (seed.has_value()) {
+            sweep.seed = &seed->state;
+            sweep.seed_coord = seed->coord;
+        }
+
+        std::vector<experiment::AnalyticPoint> grid;
+        grid.reserve(todo.size());
+        for (const Point& pt : todo) {
+            experiment::AnalyticPoint ap;
+            ap.name = pt.key;
+            ap.params = pt.model.params();
+            ap.coord = pt.coord;
+            grid.push_back(std::move(ap));
+        }
+
+        std::vector<experiment::AnalyticPointResult> results;
+        try {
+            const obs::ScopedTimer timer("hapd.latency.sweep");
+            results = experiment::run_analytic_sweep(grid, sweep, nullptr);
+        } catch (const std::exception& e) {
+            count("hapd.solve.failed", todo.size());
+            for (Point& pt : todo) deliver(pt, "", "failed", Json(), e.what(), todo.size());
+            return finished;
+        }
+
+        for (std::size_t i = 0; i < todo.size(); ++i) {
+            Point& pt = todo[i];
+            experiment::AnalyticPointResult& pr = results[i];
+            if (pr.failed()) {
+                count("hapd.solve.failed");
+                deliver(pt, "", "failed", Json(), pr.error, todo.size());
+                continue;
+            }
+            const bool warm = pr.s0.warm_started;
+            count(warm ? "hapd.solve.warm" : "hapd.solve.cold");
+            if (pr.quality == "degraded") count("hapd.solve.degraded");
+            Json result = solve_result_json(pr.s0);
+
+            CachedPoint cp;
+            cp.key = pt.key;
+            cp.family = family;
+            cp.coord = pt.coord;
+            cp.kind = "solve";
+            cp.quality = pr.quality;
+            cp.result = result;
+            cp.state = std::move(pr.s0.state);
+            point_cache.insert(std::move(cp));
+
+            deliver(pt, warm ? "warm" : "cold", pr.quality, std::move(result), "",
+                    todo.size());
+        }
+        return finished;
+    }
+
+    // --- transport ---------------------------------------------------------
+
+    void open_socket() {
+        if (!opts.socket_path.empty()) {
+            sockaddr_un addr{};
+            addr.sun_family = AF_UNIX;
+            if (opts.socket_path.size() >= sizeof(addr.sun_path))
+                throw std::runtime_error("hapd: socket path too long: " +
+                                         opts.socket_path);
+            listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (listen_fd < 0) throw std::runtime_error("hapd: cannot create socket");
+            (void)::unlink(opts.socket_path.c_str());  // stale socket from a crash
+            opts.socket_path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+            if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+                ::close(listen_fd);
+                listen_fd = -1;
+                throw std::runtime_error("hapd: cannot bind " + opts.socket_path);
+            }
+        } else {
+            listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (listen_fd < 0) throw std::runtime_error("hapd: cannot create socket");
+            const int one = 1;
+            (void)::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+            if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+                ::close(listen_fd);
+                listen_fd = -1;
+                throw std::runtime_error("hapd: cannot bind loopback port " +
+                                         std::to_string(opts.port));
+            }
+            sockaddr_in bound{};
+            socklen_t len = sizeof(bound);
+            if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+                resolved_port = static_cast<int>(ntohs(bound.sin_port));
+        }
+        if (::listen(listen_fd, 64) != 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
+            throw std::runtime_error("hapd: listen failed");
+        }
+    }
+
+    void accept_loop() {
+        while (!stopping.load()) {
+            pollfd p{};
+            p.fd = listen_fd;
+            p.events = POLLIN;
+            const int rc = ::poll(&p, 1, 200);  // bounded wait: stop() is honored
+            if (rc <= 0) continue;
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (stopping.load()) break;
+                continue;
+            }
+            set_io_timeouts(fd, opts.recv_timeout_ms);
+            count("hapd.connections");
+            {
+                const std::lock_guard<std::mutex> lock(conn_mutex);
+                conns.insert(fd);
+            }
+            if (!pool->submit([this, fd] { handle_connection(fd); })) {
+                drop_connection(fd);
+            }
+        }
+    }
+
+    void drop_connection(int fd) {
+        {
+            const std::lock_guard<std::mutex> lock(conn_mutex);
+            conns.erase(fd);
+        }
+        (void)::close(fd);
+    }
+
+    void handle_connection(int fd) {
+        FrameReader reader(opts.max_frame);
+        char buf[4096];
+        bool open = true;
+        while (open && !stopping.load()) {
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n == 0) break;  // client closed (possibly mid-frame: just drop)
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                break;  // timeout (EAGAIN) or hard error: close
+            }
+            reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+            while (auto body = reader.next()) {
+                const auto [response, shutdown_after] = handle_request(*body);
+                if (!send_all(fd, encode_frame(response))) {
+                    open = false;
+                    break;
+                }
+                if (shutdown_after) {
+                    request_stop();
+                    open = false;
+                    break;
+                }
+            }
+            if (reader.failed()) {
+                // Framing is unrecoverable: answer one structured error
+                // (best-effort) and drop the connection.
+                count("hapd.protocol.errors");
+                (void)send_all(fd, encode_frame(error_response("", "frame-error",
+                                                               reader.error())));
+                break;
+            }
+        }
+        drop_connection(fd);
+    }
+};
+
+Hapd::Hapd(ServeOptions opts) : impl_(new Impl(std::move(opts))) {}
+
+Hapd::~Hapd() {
+    stop();
+    delete impl_;
+}
+
+void Hapd::start() {
+    // The scrape endpoint and the serving counters are part of the service
+    // contract, so the registry is always on while a daemon runs.
+    obs::set_enabled(true);
+    impl_->open_socket();
+    // +1: one pool slot is the accept loop itself; `threads` handle clients.
+    impl_->pool = std::make_unique<parallel::Pool>(
+        std::max<std::size_t>(impl_->opts.threads, 1) + 1,
+        [this](std::exception_ptr ep) {
+            try {
+                if (ep) std::rethrow_exception(ep);
+            } catch (const std::exception& e) {
+                impl_->log(std::string("hapd: worker error: ") + e.what());
+            } catch (...) {
+                impl_->log("hapd: worker error (non-standard exception)");
+            }
+        });
+    impl_->pool->submit([this] { impl_->accept_loop(); });
+    impl_->log("hapd: listening on " + endpoint() +
+               (impl_->opts.cache_path.empty()
+                    ? std::string(" (memory-only cache)")
+                    : " (cache " + impl_->opts.cache_path + ", " +
+                          std::to_string(impl_->point_cache.loaded()) +
+                          " points restored)"));
+    if (obs::enabled())
+        obs::registry().add_counter("hapd.cache.loaded", impl_->point_cache.loaded());
+}
+
+void Hapd::wait() {
+    std::unique_lock<std::mutex> lock(impl_->stop_mutex);
+    impl_->stop_cv.wait(lock, [&] { return impl_->stop_requested; });
+}
+
+void Hapd::stop() {
+    impl_->request_stop();
+    {
+        // Unblock handlers parked in recv(): a shutdown elicits EOF.
+        const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+        for (const int fd : impl_->conns) (void)::shutdown(fd, SHUT_RDWR);
+    }
+    if (impl_->pool) {
+        impl_->pool->shutdown();
+        impl_->pool.reset();
+    }
+    if (impl_->listen_fd >= 0) {
+        (void)::close(impl_->listen_fd);
+        impl_->listen_fd = -1;
+        if (!impl_->opts.socket_path.empty())
+            (void)::unlink(impl_->opts.socket_path.c_str());
+    }
+}
+
+int Hapd::port() const noexcept { return impl_->resolved_port; }
+
+std::string Hapd::endpoint() const {
+    if (!impl_->opts.socket_path.empty()) return "unix:" + impl_->opts.socket_path;
+    return "tcp:127.0.0.1:" + std::to_string(impl_->resolved_port);
+}
+
+const PointCache& Hapd::cache() const { return impl_->point_cache; }
+
+}  // namespace hap::service

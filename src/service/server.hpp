@@ -1,0 +1,96 @@
+// hapd — the resident HAP capacity-planning service (ROADMAP item 4,
+// DESIGN.md §4j).
+//
+// One Hapd instance owns a listening socket (Unix-domain or loopback TCP), a
+// resident parallel::Pool whose workers each handle one client connection at
+// a time, and a PointCache of solved operating points. The query path per
+// solve request:
+//
+//   exact cache hit  -> byte-identical replay of the stored answer
+//   miss             -> continuation warm start from the family's nearest
+//                       solved neighbor (run_analytic_sweep seed, PR 4)
+//   no neighbor      -> budgeted cold solve (SolveBudget, PR 5) with the
+//                       full fallback chain
+//
+// Concurrent misses in the same family coalesce: the first becomes the batch
+// leader, collects every compatible pending request, sorts the batch by the
+// continuation coordinate, and answers all of them from ONE warm-started
+// run_analytic_sweep chain; requests that arrive mid-solve wait for the next
+// round. Admission requests (the shared core::AdmissionQuery tuple) answer
+// from Solution 2 and cache under their own key.
+//
+// Observability: every stage counts into the obs metrics registry
+// (hapd.cache.hits/misses, hapd.solve.warm/cold/degraded/failed,
+// hapd.batch.*, hapd.protocol.errors, latency histograms) and the "metrics"
+// op serves the registry as a text scrape plus machine-readable counters.
+//
+// The daemon never prints: diagnostics go through the optional log callback
+// (hapctl wires it to stdout; tests capture it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/budget.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+
+namespace hap::service {
+
+struct ServeOptions {
+    // Transport: a Unix socket path, or (when empty) loopback TCP on `port`
+    // (0 = kernel-assigned ephemeral port, resolved via Hapd::port()).
+    std::string socket_path;
+    int port = 0;
+
+    std::size_t threads = 4;       // connection-handler workers (min 1)
+    std::string cache_path;        // persistent cache file; empty = memory-only
+
+    // Solver configuration shared by every query (phase-0; never read from
+    // the environment here).
+    core::SolveBudget budget;
+    double tol = 1e-7;
+    double trunc_tol = 1e-9;
+    std::size_t max_sweeps = 8000;
+    std::size_t zmax = 0;
+    std::size_t solver_threads = 1;  // colored-GS workers per solve
+
+    std::uint32_t max_frame = kMaxFrameBody;
+    int recv_timeout_ms = 30000;   // per-connection read timeout
+    std::function<void(const std::string&)> log;  // optional diagnostics sink
+};
+
+class Hapd {
+public:
+    explicit Hapd(ServeOptions opts);
+    ~Hapd();  // calls stop()
+
+    Hapd(const Hapd&) = delete;
+    Hapd& operator=(const Hapd&) = delete;
+
+    // Bind, listen, and start the worker pool. Throws std::runtime_error on
+    // socket errors (path too long, port in use, ...).
+    void start();
+
+    // Block until a client's shutdown op (or stop()) ends the serve loop.
+    void wait();
+
+    // Stop accepting, shut down every open connection, join the pool.
+    // Idempotent; must be called from outside the pool (the owner thread).
+    void stop();
+
+    // Resolved TCP port (TCP mode, after start()).
+    int port() const noexcept;
+    // Human-readable endpoint, e.g. "unix:/tmp/hapd.sock" or "tcp:127.0.0.1:7070".
+    std::string endpoint() const;
+
+    const PointCache& cache() const;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace hap::service

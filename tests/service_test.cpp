@@ -1,0 +1,479 @@
+// End-to-end serving tests for hapd (ISSUE 8 tentpole): an in-process daemon
+// on a real socket, driven by real clients over the length-prefixed protocol.
+// Covers the full query path (cache hit -> warm start -> budgeted cold
+// solve), leader/follower batching, N concurrent clients with zero
+// cross-wired responses, protocol abuse over the socket, torn-write crash
+// recovery of the persistent cache, and warm restarts serving old points as
+// byte-identical hits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "experiment/atomic_file.hpp"
+#include "experiment/faultinject.hpp"
+#include "experiment/json.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/pool.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using hap::experiment::FaultPlan;
+using hap::experiment::Json;
+using hap::experiment::set_fault_plan;
+using hap::service::Client;
+using hap::service::Hapd;
+using hap::service::ModelSpec;
+using hap::service::Op;
+using hap::service::ServeOptions;
+
+std::string temp_path(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "hap_" + name;
+    (void)std::remove(path.c_str());
+    return path;
+}
+
+// Small operating points (tight z box, loose tolerance) so a cold solve is
+// milliseconds and the harness can push hundreds of queries.
+ServeOptions fast_opts() {
+    ServeOptions o;
+    o.port = 0;  // kernel-assigned loopback port
+    o.threads = 8;
+    o.tol = 1e-7;
+    o.trunc_tol = 1e-7;
+    o.zmax = 30;
+    o.recv_timeout_ms = 60000;
+    return o;
+}
+
+ModelSpec light_model(double lambda) {
+    ModelSpec m;
+    m.lambda = lambda;
+    m.service = 30.0;
+    return m;
+}
+
+Json call_json(Client& c, const std::string& body) {
+    return Json::parse(c.call(body));
+}
+
+std::uint64_t counter(const Json& metrics_response, const std::string& name) {
+    const Json* v = metrics_response.at("counters").find(name);
+    return v == nullptr ? 0 : v->as_uint();
+}
+
+TEST(HapdServing, PingMetricsAndShutdownOps) {
+    Hapd daemon(fast_opts());
+    daemon.start();
+    ASSERT_GT(daemon.port(), 0);
+
+    Client c = Client::connect_tcp(daemon.port());
+    const Json pong = call_json(c, hap::service::build_simple_request(Op::Ping, "p1"));
+    EXPECT_TRUE(pong.at("ok").as_bool());
+    EXPECT_EQ(pong.at("id").as_string(), "p1");
+    EXPECT_TRUE(pong.at("pong").as_bool());
+
+    const Json m = call_json(c, hap::service::build_simple_request(Op::Metrics, "m1"));
+    EXPECT_TRUE(m.at("ok").as_bool());
+    EXPECT_GE(counter(m, "hapd.queries.ping"), 1u);
+    EXPECT_NE(m.at("text").as_string().find("hapd.queries"), std::string::npos);
+
+    const Json bye = call_json(c, hap::service::build_simple_request(Op::Shutdown, "s1"));
+    EXPECT_TRUE(bye.at("ok").as_bool());
+    EXPECT_TRUE(bye.at("stopping").as_bool());
+    daemon.wait();  // the shutdown op must end the serve loop
+    daemon.stop();
+}
+
+TEST(HapdServing, CacheHitReplaysByteIdentical) {
+    const std::string sock = temp_path("svc_hit.sock");
+    ServeOptions o = fast_opts();
+    o.port = 0;
+    o.socket_path = sock;  // exercise the Unix-domain transport too
+    Hapd daemon(std::move(o));
+    daemon.start();
+    EXPECT_EQ(daemon.endpoint(), "unix:" + sock);
+
+    Client c = Client::connect_unix(sock);
+    const std::string req = hap::service::build_solve_request(light_model(0.002), "q");
+    const std::string first = c.call(req);
+    const std::string second = c.call(req);
+    const Json j1 = Json::parse(first);
+    const Json j2 = Json::parse(second);
+    EXPECT_EQ(j1.at("source").as_string(), "cold");
+    EXPECT_EQ(j2.at("source").as_string(), "hit");
+    // The headline guarantee: the replayed result is the SAME BYTES the
+    // original solve produced, not a re-derivation that happens to agree.
+    EXPECT_EQ(j1.at("result").dump(0), j2.at("result").dump(0));
+    daemon.stop();
+}
+
+TEST(HapdServing, WarmStartStaysWithinRelTolOfColdSolve) {
+    ServeOptions o = fast_opts();
+    o.tol = 1e-9;  // tight per-solve tolerance so warm-vs-cold agree to 1e-6
+    o.trunc_tol = 1e-9;
+    Hapd warm_daemon(o);
+    warm_daemon.start();
+    Client wc = Client::connect_tcp(warm_daemon.port());
+
+    // Seed the family, then query the neighbor: this answer is warm-started.
+    (void)wc.call(hap::service::build_solve_request(light_model(0.002), "seed"));
+    const Json warm =
+        call_json(wc, hap::service::build_solve_request(light_model(0.0024), "w"));
+    ASSERT_TRUE(warm.at("ok").as_bool());
+    EXPECT_EQ(warm.at("source").as_string(), "warm");
+    EXPECT_TRUE(warm.at("result").at("warm_started").as_bool());
+    warm_daemon.stop();
+
+    // A fresh daemon knows no neighbor: the same point solves cold.
+    Hapd cold_daemon(o);
+    cold_daemon.start();
+    Client cc = Client::connect_tcp(cold_daemon.port());
+    const Json cold =
+        call_json(cc, hap::service::build_solve_request(light_model(0.0024), "c"));
+    ASSERT_TRUE(cold.at("ok").as_bool());
+    EXPECT_EQ(cold.at("source").as_string(), "cold");
+    cold_daemon.stop();
+
+    for (const char* field : {"mean_delay", "utilization", "sigma", "mean_rate",
+                              "mean_messages"}) {
+        const double w = warm.at("result").at(field).as_number();
+        const double c = cold.at("result").at(field).as_number();
+        ASSERT_NE(c, 0.0) << field;
+        EXPECT_LE(std::abs(w - c) / std::abs(c), 1e-6)
+            << field << ": warm " << w << " vs cold " << c;
+    }
+}
+
+// The gating harness: 8 concurrent clients, >200 queries total, a mixed
+// hit/miss/batched workload — every response ok, every response carrying the
+// id of the request that asked for it (no drops, no cross-wiring).
+TEST(HapdServing, ConcurrentClientsNoDroppedOrCrossWiredResponses) {
+    hap::obs::registry().reset();
+    Hapd daemon(fast_opts());
+    daemon.start();
+    const int port = daemon.port();
+
+    constexpr int kClients = 8;
+    constexpr int kQueriesEach = 26;  // 8 * 26 = 208 >= 200
+    const double lambdas[] = {0.0016, 0.0018, 0.002, 0.0022, 0.0024, 0.0026};
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> clients;  // haplint: allow(naked-thread) -- independent serving clients
+    clients.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+            try {
+                Client c = Client::connect_tcp(port);
+                for (int q = 0; q < kQueriesEach; ++q) {
+                    std::string id = "t";
+                    id += std::to_string(t);
+                    id += "-q";
+                    id += std::to_string(q);
+                    std::string body;
+                    switch (q % 5) {
+                        case 0:
+                            body = hap::service::build_simple_request(Op::Ping, id);
+                            break;
+                        case 1:
+                            body = hap::service::build_admission_request(
+                                light_model(lambdas[(t + q) % 6]), 0.1, id);
+                            break;
+                        default:
+                            body = hap::service::build_solve_request(
+                                light_model(lambdas[(t + q) % 6]), id);
+                    }
+                    const Json r = Json::parse(c.call(body));
+                    if (!r.at("ok").as_bool()) failures.fetch_add(1);
+                    if (r.at("id").as_string() != id) mismatches.fetch_add(1);
+                }
+            } catch (const std::exception&) {
+                failures.fetch_add(1000);  // a dropped connection fails loudly
+            }
+        });
+    }
+    for (std::thread& th : clients) th.join();  // haplint: allow(naked-thread) -- independent serving clients
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(failures.load(), 0);
+
+    Client probe = Client::connect_tcp(port);
+    const Json m =
+        call_json(probe, hap::service::build_simple_request(Op::Metrics, "m"));
+    EXPECT_GE(counter(m, "hapd.queries"), 208u);
+    // 6 distinct solve points + 6 admission points exist; everything else of
+    // the ~166 solve/admission queries must have been served from cache.
+    EXPECT_GE(counter(m, "hapd.cache.hits"), 100u);
+    const std::uint64_t solves = counter(m, "hapd.solve.cold") +
+                                 counter(m, "hapd.solve.warm") +
+                                 counter(m, "hapd.solve.failed");
+    EXPECT_EQ(solves, 6u);  // each unique operating point solved exactly once
+    daemon.stop();
+}
+
+// Six clients asking for six DIFFERENT points of one family at the same
+// instant: the first miss becomes the batch leader and the others coalesce
+// into its warm-started continuation chain instead of solving independently.
+TEST(HapdServing, ConcurrentFamilyMissesCoalesceIntoOneChain) {
+    hap::obs::registry().reset();
+    Hapd daemon(fast_opts());
+    daemon.start();
+    const int port = daemon.port();
+    const double lambdas[] = {0.0015, 0.0017, 0.0019, 0.0021, 0.0023, 0.0025};
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;  // haplint: allow(naked-thread) -- independent serving clients
+    for (double lambda : lambdas) {
+        clients.emplace_back([&, lambda] {
+            try {
+                Client c = Client::connect_tcp(port);
+                const Json r = Json::parse(c.call(hap::service::build_solve_request(
+                    light_model(lambda), "b")));
+                if (!r.at("ok").as_bool()) failures.fetch_add(1);
+            } catch (const std::exception&) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& th : clients) th.join();  // haplint: allow(naked-thread) -- independent serving clients
+    EXPECT_EQ(failures.load(), 0);
+
+    Client probe = Client::connect_tcp(port);
+    const Json m =
+        call_json(probe, hap::service::build_simple_request(Op::Metrics, "m"));
+    const std::uint64_t solves =
+        counter(m, "hapd.solve.cold") + counter(m, "hapd.solve.warm");
+    EXPECT_EQ(solves, 6u);  // no duplicated work
+    // Six misses cannot have taken six leader rounds: at least one round
+    // served two or more points (the coalescing path actually ran).
+    EXPECT_GE(counter(m, "hapd.batch.rounds"), 1u);
+    EXPECT_LE(counter(m, "hapd.batch.rounds"), 5u);
+    daemon.stop();
+}
+
+// Protocol abuse over a real socket: every hostile stream gets a structured
+// error or a clean drop, and the daemon keeps serving afterwards.
+TEST(HapdServing, SurvivesProtocolAbuseOverSocket) {
+    ServeOptions o = fast_opts();
+    o.max_frame = 4096;
+    o.recv_timeout_ms = 2000;  // a stalled hostile client gets dropped
+    Hapd daemon(std::move(o));
+    daemon.start();
+    const int port = daemon.port();
+
+    {  // oversized length prefix -> one frame-error response, then close
+        Client c = Client::connect_tcp(port);
+        c.send_raw(std::string("\xff\xff\xff\xff", 4));
+        const auto r = c.recv();
+        ASSERT_TRUE(r.has_value());
+        const Json j = Json::parse(*r);
+        EXPECT_FALSE(j.at("ok").as_bool());
+        EXPECT_EQ(j.at("code").as_string(), "frame-error");
+        EXPECT_FALSE(c.recv().has_value());  // server closed
+    }
+    {  // zero-length frame -> frame-error, close
+        Client c = Client::connect_tcp(port);
+        c.send_raw(std::string(4, '\0'));
+        const auto r = c.recv();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(Json::parse(*r).at("code").as_string(), "frame-error");
+    }
+    {  // truncated frame + mid-frame disconnect -> clean drop, no response
+        Client c = Client::connect_tcp(port);
+        c.send_raw(std::string("\x64\x00\x00\x00", 4));  // promises 100 bytes
+        c.send_raw("only a few");
+        c.shutdown_write();
+        EXPECT_FALSE(c.recv().has_value());
+    }
+    {  // garbage JSON in a valid frame -> bad-request, connection SURVIVES
+        Client c = Client::connect_tcp(port);
+        c.send("this is not json");
+        const auto r = c.recv();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(Json::parse(*r).at("code").as_string(), "bad-request");
+        const Json pong =
+            call_json(c, hap::service::build_simple_request(Op::Ping, "after"));
+        EXPECT_TRUE(pong.at("ok").as_bool());
+    }
+    {  // well-formed JSON, invalid model -> structured bad-request
+        Client c = Client::connect_tcp(port);
+        const Json r = Json::parse(c.call(R"({"op":"solve","lambda":-1})"));
+        EXPECT_FALSE(r.at("ok").as_bool());
+        EXPECT_EQ(r.at("code").as_string(), "bad-request");
+        EXPECT_NE(r.at("error").as_string().find("invalid model"), std::string::npos);
+    }
+    {  // deterministic garbage payload shower inside valid frames
+        std::uint64_t lcg = 0xdeadbeefcafef00dull;
+        Client c = Client::connect_tcp(port);
+        for (int i = 0; i < 40; ++i) {
+            std::string payload;
+            const std::size_t len = 1 + static_cast<std::size_t>((lcg >> 40) & 0x1f);
+            for (std::size_t b = 0; b < len; ++b) {
+                lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+                payload.push_back(static_cast<char>(lcg >> 33));
+            }
+            const auto r = [&]() -> std::optional<std::string> {
+                c.send(payload);
+                return c.recv();
+            }();
+            ASSERT_TRUE(r.has_value()) << "round " << i;
+            EXPECT_FALSE(Json::parse(*r).at("ok").as_bool());
+        }
+    }
+
+    // After all of the abuse the daemon still answers real work.
+    Client c = Client::connect_tcp(port);
+    const Json solved =
+        call_json(c, hap::service::build_solve_request(light_model(0.002), "ok"));
+    EXPECT_TRUE(solved.at("ok").as_bool());
+    daemon.stop();
+}
+
+// Crash recovery (ISSUE 8 satellite): a fault kills the cache writer halfway
+// through a record. The daemon contains it (answer still served, failure
+// counted); a restarted daemon tolerates the torn tail, serves every
+// previously completed point as a byte-identical hit, and the torn point is
+// re-solved and re-persisted.
+TEST(HapdServing, TornCacheWriteIsContainedAndRecoveredOnRestart) {
+    const std::string cache = temp_path("svc_crash.ckpt");
+    ServeOptions o = fast_opts();
+    o.cache_path = cache;
+    const std::string good_req =
+        hap::service::build_solve_request(light_model(0.002), "good");
+    const std::string torn_req =
+        hap::service::build_solve_request(light_model(0.0026), "torn");
+
+    std::string good_result;
+    {
+        hap::obs::registry().reset();
+        Hapd daemon(o);
+        daemon.start();
+        Client c = Client::connect_tcp(daemon.port());
+        const Json g = Json::parse(c.call(good_req));
+        ASSERT_TRUE(g.at("ok").as_bool());
+        good_result = g.at("result").dump(0);
+
+        // Kill the writer mid-record for everything that follows.
+        set_fault_plan(FaultPlan::parse("write@hap_svc_crash"));
+        const Json t = Json::parse(c.call(torn_req));
+        set_fault_plan(FaultPlan::parse(""));
+        EXPECT_TRUE(t.at("ok").as_bool());  // served from memory regardless
+        EXPECT_EQ(daemon.cache().persist_errors(), 1u);
+        const Json m =
+            call_json(c, hap::service::build_simple_request(Op::Metrics, "m"));
+        EXPECT_EQ(m.at("cache").at("persist_errors").as_uint(), 1u);
+        daemon.stop();
+    }
+
+    // The file must genuinely end in a torn half-record.
+    {
+        std::string text;
+        ASSERT_TRUE(hap::experiment::read_file(cache, text));
+        ASSERT_FALSE(text.empty());
+        EXPECT_NE(text.back(), '\n');
+    }
+
+    {
+        hap::obs::registry().reset();
+        Hapd daemon(o);  // restart on the torn file
+        daemon.start();
+        EXPECT_EQ(daemon.cache().loaded(), 1u);  // the completed point only
+        Client c = Client::connect_tcp(daemon.port());
+
+        const Json g = Json::parse(c.call(good_req));
+        EXPECT_EQ(g.at("source").as_string(), "hit");
+        EXPECT_EQ(g.at("result").dump(0), good_result);  // byte-identical
+
+        const Json t = Json::parse(c.call(torn_req));  // torn point: re-solve
+        EXPECT_TRUE(t.at("ok").as_bool());
+        EXPECT_NE(t.at("source").as_string(), "hit");
+
+        const Json m =
+            call_json(c, hap::service::build_simple_request(Op::Metrics, "m"));
+        EXPECT_EQ(counter(m, "hapd.cache.loaded"), 1u);
+        EXPECT_GE(counter(m, "hapd.cache.hits"), 1u);
+        daemon.stop();
+    }
+
+    {  // third generation: the re-solved point is now persisted -> a hit
+        Hapd daemon(o);
+        daemon.start();
+        EXPECT_EQ(daemon.cache().loaded(), 2u);
+        Client c = Client::connect_tcp(daemon.port());
+        const Json t = Json::parse(c.call(torn_req));
+        EXPECT_EQ(t.at("source").as_string(), "hit");
+        (void)c.call(hap::service::build_simple_request(Op::Shutdown, "bye"));
+        daemon.wait();
+        daemon.stop();
+    }
+}
+
+// Admission queries run through the shared core::AdmissionQuery struct and
+// must agree exactly with a direct evaluate_admission call (the hoisted-
+// struct satellite: one tuple, two consumers, same numbers).
+TEST(HapdServing, AdmissionAgreesWithDirectEvaluation) {
+    Hapd daemon(fast_opts());
+    daemon.start();
+    Client c = Client::connect_tcp(daemon.port());
+
+    ModelSpec m = light_model(0.0055);
+    m.service = 20.0;
+    m.max_users = 20;
+    const Json r = call_json(
+        c, hap::service::build_admission_request(m, 0.1, "adm"));
+    ASSERT_TRUE(r.at("ok").as_bool());
+
+    hap::core::AdmissionQuery q;
+    q.max_users = m.max_users;
+    q.service_rate = m.service;
+    q.delay_budget = 0.1;
+    const hap::core::AdmissionOutcome direct =
+        hap::core::evaluate_admission(m.params(), q);
+    EXPECT_EQ(r.at("result").at("admit").as_bool(), direct.admit);
+    EXPECT_EQ(r.at("result").at("stable").as_bool(), direct.stable);
+    EXPECT_EQ(r.at("result").at("mean_rate").as_number(), direct.mean_rate);
+    EXPECT_EQ(r.at("result").at("sigma").as_number(), direct.sigma);
+    EXPECT_EQ(r.at("result").at("mean_delay").as_number(), direct.mean_delay);
+
+    // Second ask is a cache hit under the admission key.
+    const Json again = call_json(
+        c, hap::service::build_admission_request(m, 0.1, "adm2"));
+    EXPECT_EQ(again.at("source").as_string(), "hit");
+    daemon.stop();
+}
+
+// The resident worker pool under the daemon, in isolation.
+TEST(WorkerPool, RunsJobsContainsExceptionsAndRefusesAfterShutdown) {
+    std::atomic<int> ran{0};
+    std::atomic<int> errors{0};
+    {
+        hap::parallel::Pool pool(4, [&](std::exception_ptr) { errors.fetch_add(1); });
+        EXPECT_EQ(pool.threads(), 4u);
+        for (int i = 0; i < 64; ++i)
+            ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+        ASSERT_TRUE(pool.submit([] { throw std::runtime_error("contained"); }));
+        // shutdown() drops jobs that have not STARTED (by contract), so wait
+        // for the queue to drain before asking the workers to stop.
+        const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while ((ran.load() < 64 || errors.load() < 1) &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        pool.shutdown();
+        EXPECT_FALSE(pool.submit([&] { ran.fetch_add(1000); }));
+        pool.shutdown();  // idempotent
+    }
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_EQ(errors.load(), 1);
+}
+
+}  // namespace

@@ -54,6 +54,8 @@
 #include "experiment/experiment.hpp"
 #include "obs/metrics.hpp"
 #include "queueing/mm1.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "trace/arrival_log.hpp"
 #include "traffic/fitting.hpp"
 
@@ -599,6 +601,88 @@ int cmd_admission(const cli::Flags& f) {
     return 0;
 }
 
+int cmd_serve(const cli::Flags& f) {
+    f.reject_unknown({"socket", "port", "threads", "cache", "tol", "trunc-tol",
+                      "sweeps", "zmax", "solver-threads", "timeout-ms",
+                      "budget-iters", "budget-states", "budget-wall-ms"});
+    service::ServeOptions o;
+    o.socket_path = f.text("socket", "");
+    o.port = static_cast<int>(f.count("port", 0));
+    o.threads = f.count("threads", 4);
+    o.cache_path = f.text("cache", "");
+    o.tol = f.number("tol", 1e-7);
+    o.trunc_tol = f.number("trunc-tol", 1e-9);
+    o.max_sweeps = f.count("sweeps", 8000);
+    o.zmax = f.count("zmax", 0);
+    o.solver_threads = f.count("solver-threads", 1);
+    o.recv_timeout_ms = static_cast<int>(f.count("timeout-ms", 30000));
+    o.budget = budget_from_flags(f);
+    o.log = [](const std::string& line) {
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+    };
+    service::Hapd daemon(std::move(o));
+    daemon.start();
+    // The machine-readable readiness line the test fixture / CI waits for.
+    std::printf("READY %s\n", daemon.endpoint().c_str());
+    std::fflush(stdout);
+    daemon.wait();  // until a client's shutdown op
+    daemon.stop();
+    std::printf("hapd: stopped (%zu cached points)\n", daemon.cache().size());
+    return 0;
+}
+
+service::ModelSpec spec_from_flags(const cli::Flags& f) {
+    service::ModelSpec s;
+    s.lambda = f.number("lambda", s.lambda);
+    s.mu = f.number("mu", s.mu);
+    s.lambda1 = f.number("lambda1", s.lambda1);
+    s.mu1 = f.number("mu1", s.mu1);
+    s.l = f.count("l", s.l);
+    s.lambda2 = f.number("lambda2", s.lambda2);
+    s.m = f.count("m", s.m);
+    s.service = f.number("service", s.service);
+    s.max_users = f.count("max-users", s.max_users);
+    s.max_apps = f.count("max-apps", s.max_apps);
+    return s;
+}
+
+int cmd_query(const cli::Flags& f) {
+    f.reject_unknown(with(kModelFlags, {"socket", "port", "op", "budget", "id"}));
+    const std::string op = f.text("op", "solve");
+    const std::string id = f.text("id", "cli");
+    std::string body;
+    if (op == "solve") {
+        body = service::build_solve_request(spec_from_flags(f), id);
+    } else if (op == "admission") {
+        body = service::build_admission_request(spec_from_flags(f),
+                                                f.number("budget", 0.1), id);
+    } else if (op == "ping") {
+        body = service::build_simple_request(service::Op::Ping, id);
+    } else if (op == "metrics") {
+        body = service::build_simple_request(service::Op::Metrics, id);
+    } else if (op == "shutdown") {
+        body = service::build_simple_request(service::Op::Shutdown, id);
+    } else {
+        throw std::invalid_argument("unknown --op '" + op +
+                                    "' (solve|admission|ping|metrics|shutdown)");
+    }
+    service::Client client =
+        f.has("socket") ? service::Client::connect_unix(f.text("socket", ""))
+                        : service::Client::connect_tcp(
+                              static_cast<int>(f.count("port", 0)));
+    const std::string response = client.call(body);
+    const experiment::Json j = experiment::Json::parse(response);
+    std::printf("%s\n", response.c_str());
+    if (op == "metrics") {
+        // The scrape text, verbatim, after the JSON envelope.
+        if (const experiment::Json* text = j.find("text"))
+            std::fputs(text->as_string().c_str(), stdout);
+    }
+    const experiment::Json* ok = j.find("ok");
+    return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 1;
+}
+
 void usage() {
     std::printf(
         "hapctl — HAP traffic-model toolkit (SIGCOMM '93 reproduction)\n\n"
@@ -619,7 +703,19 @@ void usage() {
         "                   block, and --checkpoint/--resume make sweeps\n"
         "                   crash-safe — see README \"Fault tolerance & resume\")\n"
         "  hapctl metrics-dump [model flags] [--horizon T --reps N --solve0]\n"
-        "                   solver-telemetry text report (see DESIGN.md 4e)\n\n"
+        "                   solver-telemetry text report (see DESIGN.md 4e)\n"
+        "  hapctl serve     [--socket PATH | --port N] [--threads N]\n"
+        "                   [--cache FILE] [--tol E --trunc-tol E --sweeps N\n"
+        "                   --zmax N --solver-threads N --timeout-ms T\n"
+        "                   --budget-iters N --budget-states N --budget-wall-ms T]\n"
+        "                   resident capacity-planning daemon (hapd): answers\n"
+        "                   solve/admission queries over a persistent cache of\n"
+        "                   operating points with nearest-neighbor warm starts;\n"
+        "                   prints \"READY <endpoint>\" when accepting\n"
+        "  hapctl query     [--socket PATH | --port N] [--op solve|admission|\n"
+        "                   ping|metrics|shutdown] [model flags] [--budget T]\n"
+        "                   [--id S]  one query against a running hapd; prints\n"
+        "                   the JSON response (see README \"Serving queries\")\n\n"
         "model flags (defaults = paper baseline):\n"
         "  --lambda 0.0055 --mu 0.001 --lambda1 0.01 --mu1 0.01 --l 5\n"
         "  --lambda2 0.1 --m 3 --service 20 [--max-users N --max-apps N]\n");
@@ -642,6 +738,8 @@ int main(int argc, char** argv) {
         if (cmd == "admission") return cmd_admission(flags);
         if (cmd == "sweep") return cmd_sweep(flags);
         if (cmd == "metrics-dump") return cmd_metrics_dump(flags);
+        if (cmd == "serve") return cmd_serve(flags);
+        if (cmd == "query") return cmd_query(flags);
         usage();
         return 2;
     } catch (const std::exception& e) {
