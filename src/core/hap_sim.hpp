@@ -45,7 +45,10 @@ struct [[nodiscard]] HapSimResult {
     std::uint64_t arrivals = 0;
     std::uint64_t departures = 0;
     std::uint64_t losses = 0;  // drops at a full finite buffer (post-warmup)
-    std::uint64_t events = 0;  // total CTMC transitions simulated (incl. warmup)
+    // CTMC transitions *executed* (incl. warmup). The final draw that lands
+    // past the horizon consumes randomness but is not executed and not
+    // counted — matching queueing::QueueSimResult::events.
+    std::uint64_t events = 0;
     // Fraction of (post-warmup) time each admission bound was binding; a
     // blocked arrival never fires as an event in the CTMC simulation, so
     // blocking pressure is measured as time-at-bound.
@@ -75,10 +78,22 @@ public:
     void reset() override;
 
 private:
+    void recompute_rates();
+
     HapParams params_;
     double time_ = 0.0;
     std::uint64_t users_ = 0;
     std::vector<std::uint64_t> apps_;  // per type
+    // Incrementally maintained population total and cached aggregate rates,
+    // refreshed (in the exact historical reduction order) only after a
+    // population change instead of on every transition.
+    std::uint64_t total_apps_ = 0;
+    bool rates_valid_ = false;
+    bool app_ok_ = true;
+    double r_user_arr_ = 0.0;
+    double r_user_dep_ = 0.0;
+    double msg_total_ = 0.0;
+    double total_ = 0.0;
 };
 
 }  // namespace hap::core

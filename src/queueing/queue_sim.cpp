@@ -1,90 +1,41 @@
 #include "queueing/queue_sim.hpp"
 
-#include <limits>
-
 #include "obs/metrics.hpp"
+#include "traffic/mmpp.hpp"
+#include "traffic/onoff.hpp"
+#include "traffic/packet_train.hpp"
+#include "traffic/poisson.hpp"
 
 namespace hap::queueing {
+
+void emit_queue_sim_metrics(const QueueSimResult& res) {
+    // Batched at run end so the event loop itself never touches the registry.
+    if (!obs::enabled()) return;
+    obs::MetricsRegistry& reg = obs::registry();
+    reg.add_counter("queue_sim.events", res.events);
+    reg.add_counter("queue_sim.arrivals", res.arrivals);
+    reg.add_counter("queue_sim.losses", res.losses);
+}
 
 QueueSimResult simulate_queue(traffic::ArrivalProcess& arrivals,
                               const sim::Distribution& service,
                               sim::RandomStream& rng,
                               const QueueSimOptions& opts) {
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-
-    QueueSimResult res;
-    res.horizon = opts.horizon;
-    res.number = stats::TimeWeightedStats(opts.warmup, 0.0);
-    res.busy = stats::BusyPeriodTracker(opts.warmup);
-
-    std::deque<double> in_system;  // arrival time of each queued/served message
-    double next_arrival = arrivals.next(rng);
-    double next_departure = kInf;
-    double service_start_wait = 0.0;  // wait of the message now in service
-    double now = 0.0;
-
-    const auto emit_change = [&](double t, std::uint64_t n) {
-        if (t < opts.warmup) return;
-        res.number.update(t, static_cast<double>(n));
-        res.busy.observe(t, n);
-        if (opts.on_change) opts.on_change(t, n);
-    };
-
-    while (true) {
-        const bool arrival_first = next_arrival <= next_departure;
-        const double t = arrival_first ? next_arrival : next_departure;
-        if (t >= opts.horizon || t == kInf) break;  // haplint: allow(float-equality) kInf is an exact sentinel, not a measurement
-        now = t;
-        ++res.events;
-
-        if (arrival_first) {
-            if (opts.buffer_capacity > 0 && in_system.size() >= opts.buffer_capacity) {
-                if (now >= opts.warmup) ++res.losses;
-                next_arrival = arrivals.next(rng);
-                continue;
-            }
-            in_system.push_back(now);
-            if (in_system.size() == 1) {
-                service_start_wait = 0.0;
-                next_departure = now + service.sample(rng);
-            }
-            if (now >= opts.warmup) {
-                ++res.arrivals;
-                if (opts.record_arrival_times) res.arrival_times.push_back(now);
-            }
-            emit_change(now, in_system.size());
-            next_arrival = arrivals.next(rng);
-        } else {
-            const double arrived = in_system.front();
-            in_system.pop_front();
-            if (arrived >= opts.warmup) {
-                const double sojourn = now - arrived;
-                res.delay.add(sojourn);
-                res.wait.add(service_start_wait);
-                if (opts.record_delays) res.delays.push_back(sojourn);
-                ++res.departures;
-            }
-            if (!in_system.empty()) {
-                service_start_wait = now - in_system.front();
-                next_departure = now + service.sample(rng);
-            } else {
-                next_departure = kInf;
-            }
-            emit_change(now, in_system.size());
-        }
+    // Devirtualize the loop for the concrete types the scenario suite uses
+    // (all of them `final`, so the casts are exact). core::HapSource cannot
+    // appear here — core already links queueing — but callers can reach its
+    // fast path via simulate_queue_t directly.
+    if (const auto* exp = dynamic_cast<const sim::Exponential*>(&service)) {
+        if (auto* p = dynamic_cast<traffic::PoissonSource*>(&arrivals))
+            return simulate_queue_t(*p, *exp, rng, opts);
+        if (auto* o = dynamic_cast<traffic::OnOffSource*>(&arrivals))
+            return simulate_queue_t(*o, *exp, rng, opts);
+        if (auto* m = dynamic_cast<traffic::Mmpp*>(&arrivals))
+            return simulate_queue_t(*m, *exp, rng, opts);
+        if (auto* t = dynamic_cast<traffic::PacketTrainSource*>(&arrivals))
+            return simulate_queue_t(*t, *exp, rng, opts);
     }
-
-    res.number.finish(opts.horizon);
-    res.busy.finish(opts.horizon);
-    res.utilization = res.busy.busy_fraction();
-    // Batched at run end so the event loop itself never touches the registry.
-    if (obs::enabled()) {
-        obs::MetricsRegistry& reg = obs::registry();
-        reg.add_counter("queue_sim.events", res.events);
-        reg.add_counter("queue_sim.arrivals", res.arrivals);
-        reg.add_counter("queue_sim.losses", res.losses);
-    }
-    return res;
+    return simulate_queue_t(arrivals, service, rng, opts);
 }
 
 }  // namespace hap::queueing

@@ -1,0 +1,86 @@
+// Power-of-two ring buffer: the FIFO backing the simulation event engines.
+//
+// std::deque pays for its generality in the event loops — segmented storage
+// (pointer chase per access), allocation churn at segment boundaries, and
+// iterator bookkeeping. The queues in the simulators are plain FIFOs whose
+// occupancy tracks the number-in-system, so a contiguous ring with power-of-
+// two wraparound does the same job with one mask per access and zero
+// allocations at steady state. Growth doubles the capacity and re-linearizes
+// the live range; elements must be trivially relocatable (the engines store
+// PODs: arrival timestamps, queued-message records).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace hap::sim {
+
+template <typename T>
+class RingBuffer {
+public:
+    explicit RingBuffer(std::size_t min_capacity = 64) {
+        std::size_t cap = 1;
+        while (cap < min_capacity) cap <<= 1;
+        slots_ = std::make_unique<T[]>(cap);
+        mask_ = cap - 1;
+    }
+
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return mask_ + 1; }
+
+    const T& front() const noexcept {
+        assert(size_ > 0);
+        return slots_[head_];
+    }
+    T& front() noexcept {
+        assert(size_ > 0);
+        return slots_[head_];
+    }
+    // The head slot regardless of occupancy. Slots are value-initialized
+    // (make_unique<T[]>), so this is a defined read even when empty() — it
+    // lets callers turn "empty ? fallback : front().field" into an
+    // unconditional load plus a select instead of a data-dependent branch.
+    const T& front_slot() const noexcept { return slots_[head_]; }
+
+    void push_back(const T& value) {
+        if (size_ > mask_) grow();
+        slots_[(head_ + size_) & mask_] = value;
+        ++size_;
+    }
+
+    T pop_front() noexcept {
+        assert(size_ > 0);
+        T out = std::move(slots_[head_]);
+        head_ = (head_ + 1) & mask_;
+        --size_;
+        return out;
+    }
+
+    void clear() noexcept {
+        head_ = 0;
+        size_ = 0;
+    }
+
+private:
+    // Double the capacity, re-linearizing the live elements to slot 0 so the
+    // post-growth layout is independent of where the head happened to sit.
+    void grow() {
+        const std::size_t cap = capacity() * 2;
+        auto next = std::make_unique<T[]>(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = std::move(slots_[(head_ + i) & mask_]);
+        slots_ = std::move(next);
+        mask_ = cap - 1;
+        head_ = 0;
+    }
+
+    std::unique_ptr<T[]> slots_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace hap::sim

@@ -8,6 +8,8 @@
 // many threads the experiment pool has or which thread picks the job up.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <string_view>
@@ -66,6 +68,14 @@ public:
     double uniform() { return uniform_(engine_); }  // U(0,1)
     double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
+    // Batch refill for BlockRng: out[0..n) receive exactly the doubles the
+    // next n uniform() calls would have returned, in order. Kept here (not in
+    // BlockRng) so the conversion goes through the one distribution object
+    // whose draws define the repo's golden sequences.
+    void fill_uniforms(double* out, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) out[i] = uniform_(engine_);
+    }
+
     // Exponential with given rate (mean 1/rate).
     double exponential(double rate) {
         // Inversion keeps one draw per variate and is monotone in the
@@ -87,6 +97,73 @@ public:
 private:
     std::mt19937_64 engine_;
     std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+// Cache-resident block of uniforms drawn off a RandomStream.
+//
+// The event engines consume 2-3 uniforms per event; drawing them one at a
+// time puts the Mersenne twist and the canonical conversion (with its
+// integer->double divide) on the event loop's critical path. BlockRng
+// refills a small buffer in one tight pass — the conversions pipeline
+// instead of serializing against simulation logic — and the hot path is a
+// load + pointer bump.
+//
+// Draw-sequence contract (the property every golden test leans on):
+//   * uniform() returns exactly the sequence stream.uniform() would have —
+//     the refill goes through the same distribution object, in order;
+//   * the underlying stream is never left over-drawn: each refill snapshots
+//     the engine first, and finish() rewinds to the snapshot and replays
+//     only the consumed draws. After finish(), the RandomStream's state is
+//     byte-identical to scalar use, so callers that keep drawing from the
+//     same stream (back-to-back simulations, shared service streams) see an
+//     unchanged future sequence.
+//
+// finish() runs from the destructor, so scoping a BlockRng over a hot loop
+// is enough; the replay costs at most one block of draws, once.
+class BlockRng {
+public:
+    static constexpr std::size_t kBlock = 512;
+
+    explicit BlockRng(RandomStream& stream) : stream_(stream) {}
+    ~BlockRng() { finish(); }
+    BlockRng(const BlockRng&) = delete;
+    BlockRng& operator=(const BlockRng&) = delete;
+
+    double uniform() {
+        if (pos_ == filled_) refill();
+        return buf_[pos_++];
+    }
+
+    // Exponential with given rate; same inversion as RandomStream::exponential.
+    double exponential(double rate) {
+        return -std::log1p(-uniform()) / rate;
+    }
+
+    // Rewind the stream to the last snapshot and replay exactly the draws
+    // consumed, restoring the state scalar use would have produced.
+    void finish() {
+        if (filled_ == 0) return;  // never refilled: stream untouched
+        stream_.engine() = snapshot_;
+        double sink = 0.0;
+        for (std::size_t i = 0; i < pos_; ++i) sink = stream_.uniform();
+        (void)sink;
+        pos_ = 0;
+        filled_ = 0;
+    }
+
+private:
+    void refill() {
+        snapshot_ = stream_.engine();
+        stream_.fill_uniforms(buf_, kBlock);
+        pos_ = 0;
+        filled_ = kBlock;
+    }
+
+    RandomStream& stream_;
+    std::mt19937_64 snapshot_;
+    std::size_t pos_ = 0;
+    std::size_t filled_ = 0;
+    double buf_[kBlock];
 };
 
 }  // namespace hap::sim

@@ -6,32 +6,6 @@
 
 namespace hap::stats {
 
-void BusyPeriodTracker::observe(double time, std::uint64_t n) {
-    HAP_PRECOND(time >= last_event_time_);  // sample-path events are time-ordered
-    const double dt = time - last_event_time_;
-    if (dt > 0.0) {
-        observed_total_ += dt;
-        if (in_busy_) busy_time_total_ += dt;
-    }
-    last_event_time_ = time;
-
-    if (!in_busy_ && n > 0) {
-        // Idle period [period_start_, time) ends; busy period begins.
-        idle_.add(time - period_start_);
-        in_busy_ = true;
-        period_start_ = time;
-        current_height_ = n;
-    } else if (in_busy_ && n == 0) {
-        busy_.add(time - period_start_);
-        heights_.add(static_cast<double>(current_height_));
-        in_busy_ = false;
-        period_start_ = time;
-        current_height_ = 0;
-    } else if (in_busy_) {
-        current_height_ = std::max(current_height_, n);
-    }
-}
-
 void BusyPeriodTracker::finish(double time) noexcept {
     const double dt = time - last_event_time_;
     if (dt > 0.0) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "core/contracts.hpp"
 #include "stats/online_stats.hpp"
 
 namespace hap::stats {
@@ -17,7 +18,8 @@ public:
 
     // Report every change of the number-in-system. Times must be
     // nondecreasing (enforced via core::ContractViolation); `n` is the value
-    // AFTER the transition.
+    // AFTER the transition. Defined inline (end of header): called on every
+    // queue-length change in the event engines.
     void observe(double time, std::uint64_t n);
 
     // Close the observation window; a busy period still in progress is
@@ -72,8 +74,6 @@ public:
     }
 
 private:
-    void close_idle(double time) noexcept;
-
     OnlineStats busy_;
     OnlineStats idle_;
     OnlineStats heights_;
@@ -84,5 +84,31 @@ private:
     bool in_busy_ = false;
     std::uint64_t current_height_ = 0;
 };
+
+inline void BusyPeriodTracker::observe(double time, std::uint64_t n) {
+    HAP_PRECOND(time >= last_event_time_);  // sample-path events are time-ordered
+    const double dt = time - last_event_time_;
+    if (dt > 0.0) {
+        observed_total_ += dt;
+        if (in_busy_) busy_time_total_ += dt;
+    }
+    last_event_time_ = time;
+
+    if (!in_busy_ && n > 0) {
+        // Idle period [period_start_, time) ends; busy period begins.
+        idle_.add(time - period_start_);
+        in_busy_ = true;
+        period_start_ = time;
+        current_height_ = n;
+    } else if (in_busy_ && n == 0) {
+        busy_.add(time - period_start_);
+        heights_.add(static_cast<double>(current_height_));
+        in_busy_ = false;
+        period_start_ = time;
+        current_height_ = 0;
+    } else if (in_busy_) {
+        current_height_ = n > current_height_ ? n : current_height_;
+    }
+}
 
 }  // namespace hap::stats

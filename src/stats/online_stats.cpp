@@ -42,19 +42,6 @@ double OnlineStats::scv() const noexcept {
     return m != 0.0 ? variance() / (m * m) : 0.0;  // haplint: allow(float-equality) exact-zero mean guard before dividing
 }
 
-void TimeWeightedStats::update(double time, double new_value) {
-    HAP_PRECOND(time >= last_time_);  // change points are nondecreasing in time
-    const double dt = time - last_time_;
-    if (dt > 0.0) {
-        area_ += value_ * dt;
-        area2_ += value_ * value_ * dt;
-        total_time_ += dt;
-    }
-    last_time_ = time;
-    value_ = new_value;
-    max_ = std::max(max_, new_value);
-}
-
 void TimeWeightedStats::merge(const TimeWeightedStats& other) {
     HAP_PRECOND(other.total_time_ >= 0.0);
     HAP_CHECK_FINITE(other.total_time_);

@@ -5,11 +5,20 @@
 #include <cstdint>
 #include <limits>
 
+#include "core/contracts.hpp"
+
 namespace hap::stats {
 
 // Numerically stable single-pass mean/variance (Welford's algorithm).
 class OnlineStats {
 public:
+    // Deliberately out-of-line (one compiled instance in online_stats.cpp):
+    // with -ffp-contract the Welford update `m2_ += delta * (x - mean_)` can
+    // contract into an FMA differently at different inline sites, and on
+    // knife-edge operands that rounds m2_ (hence variance and every derived
+    // ci95) differently per caller. One instance keeps accumulation
+    // bit-identical everywhere; the call costs ~2 ns against a per-departure
+    // hot path that pays ~50 ns.
     void add(double x) noexcept;
     // Throws core::ContractViolation if `other` carries non-finite moments.
     void merge(const OnlineStats& other);
@@ -70,7 +79,8 @@ public:
         : last_time_(start_time), value_(start_value) {}
 
     // Change points must arrive in nondecreasing time order; a time stamp
-    // that moves backwards throws core::ContractViolation.
+    // that moves backwards throws core::ContractViolation. Defined inline:
+    // this runs on every queue-length change in the event engines.
     void update(double time, double new_value);
     // Close the observation window at `time` without changing the value.
     void finish(double time) { update(time, value_); }
@@ -122,5 +132,18 @@ private:
     double area2_ = 0.0;
     double max_ = -std::numeric_limits<double>::infinity();
 };
+
+inline void TimeWeightedStats::update(double time, double new_value) {
+    HAP_PRECOND(time >= last_time_);  // change points are nondecreasing in time
+    const double dt = time - last_time_;
+    if (dt > 0.0) {
+        area_ += value_ * dt;
+        area2_ += value_ * value_ * dt;
+        total_time_ += dt;
+    }
+    last_time_ = time;
+    value_ = new_value;
+    max_ = new_value > max_ ? new_value : max_;
+}
 
 }  // namespace hap::stats

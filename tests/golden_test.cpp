@@ -128,7 +128,11 @@ TEST(GoldenFig11, BaselineCapacityPointAtTestScale) {
     const MergedResult m = ExperimentRunner(4).run(sc);
     EXPECT_EQ(m.arrivals, 3353667u);
     EXPECT_EQ(m.departures, 3353646u);
-    EXPECT_EQ(m.events, 7312790u);
+    // Re-baselined from 7312790 when `events` switched to "events executed"
+    // semantics: the final draw past the horizon is no longer counted, so
+    // each of the 4 replications reports exactly one event fewer. Every
+    // other pinned value is unchanged (the draw sequence is identical).
+    EXPECT_EQ(m.events, 7312786u);
     expect_rel(m.delay_mean.mean, 0.18372903086764303, 1e-9);
     expect_rel(m.number_mean.mean, 1.5336327797330789, 1e-9);
     expect_rel(m.utilization.mean, 0.41966844392643099, 1e-9);
@@ -148,7 +152,8 @@ TEST(GoldenFig12, Load080PointAtTestScale) {
     const MergedResult m = ExperimentRunner(4).run(sc);
     EXPECT_EQ(m.arrivals, 2646213u);
     EXPECT_EQ(m.departures, 2646207u);
-    EXPECT_EQ(m.events, 5717454u);
+    // Re-baselined from 5717454 (-1 event per replication); see GoldenFig11.
+    EXPECT_EQ(m.events, 5717450u);
     expect_rel(m.delay_mean.mean, 0.17136189437510807, 1e-9);
     expect_rel(m.number_mean.mean, 1.1425869307272825, 1e-9);
     expect_rel(m.utilization.mean, 0.38910724419750808, 1e-9);

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Compare two hap.bench.result/v1 documents from bench/solver_continuation
-and flag solver-iteration regressions.
+"""Compare two hap.bench.result/v1 documents (bench/solver_continuation or
+bench/sim_throughput) and flag deterministic regressions.
 
 Iteration counts are deterministic (no timing, no threading), so the
 comparison is exact arithmetic on the recorded sweep counts: a point
@@ -10,6 +10,13 @@ check-interval quantization, where a count can only move in steps of
 check_every/2 = 5 sweeps). Wall-clock-derived fields (sweep_s,
 states_per_sec) are reported informationally but never gate: they move with
 the machine, not the code.
+
+Simulator-throughput documents gate on per-point `events`: the event engines
+are draw-for-draw deterministic, so ANY change in a point's event count is a
+draw-sequence break (or an intentional semantics change that must re-baseline
+bench/BENCH_sim.json), never machine noise — the comparison is exact, with no
+slack. `events_per_sec` and `wall_s` are informational, like every other
+wall-clock field.
 
 usage: bench_compare.py BASELINE CURRENT [--max-regress 0.10] [--min-slack 10]
                         [--allow-missing]
@@ -114,6 +121,15 @@ def main():
         for field in ("cold_sweeps", "warm_sweeps"):
             check(label, field, base_pts[label].get(field),
                   cur_pts[label].get(field))
+        # Simulator lanes: event counts are deterministic given the seeds, so
+        # the gate is exact equality — a drifted count means the draw
+        # sequence changed, which is a correctness break until the baseline
+        # is deliberately re-baselined.
+        e_old = base_pts[label].get("events")
+        e_new = cur_pts[label].get("events")
+        if (isinstance(e_old, (int, float)) and isinstance(e_new, (int, float))
+                and e_old != e_new):
+            regressions.append((label, "events", e_old, e_new))
     for label in sorted(base_pts.keys() - cur_pts.keys()):
         print(f"note: point {label} present only in baseline (grid changed?)")
     for label in sorted(cur_pts.keys() - base_pts.keys()):
@@ -142,6 +158,27 @@ def main():
         total = sum(cur_pts[label]["sweep_s"] for label in timed)
         print(f"per-point sweep timings (informational): {len(timed)} points, "
               f"{total:.3f} s total in kernels")
+
+    # Simulator throughput, informational only (same policy as the sweep
+    # kernel: wall clock annotates, never gates).
+    eps_old = base.get("events_per_sec")
+    eps_new = cur.get("events_per_sec")
+    if isinstance(eps_new, (int, float)) and eps_new > 0:
+        ref = cur.get("ref_label", "reference lane")
+        if isinstance(eps_old, (int, float)) and eps_old > 0:
+            print(f"sim throughput (informational, {ref}): baseline "
+                  f"{eps_old:.3g} -> current {eps_new:.3g} events/sec "
+                  f"({eps_new / eps_old:.2f}x)")
+        else:
+            print(f"sim throughput (informational, {ref}): "
+                  f"{eps_new:.3g} events/sec")
+    for label in shared:
+        po, pn = base_pts[label].get("events_per_sec"), \
+            cur_pts[label].get("events_per_sec")
+        if isinstance(po, (int, float)) and isinstance(pn, (int, float)) \
+                and po > 0 and pn > 0:
+            print(f"  {label:24s} {po:10.3g} -> {pn:10.3g} events/sec "
+                  f"({pn / po:.2f}x, informational)")
 
     if improvements:
         print(f"\n{len(improvements)} improvement(s):")
