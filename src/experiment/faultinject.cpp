@@ -14,8 +14,13 @@ FaultKind kind_from(const std::string& word, const std::string& entry) {
     if (word == "noconv") return FaultKind::NoConverge;
     if (word == "budget") return FaultKind::Budget;
     if (word == "write") return FaultKind::WriteAbort;
-    throw std::invalid_argument("fault spec: unknown kind in '" + entry +
-                                "' (throw|nan|noconv|budget|write)");
+    if (word == "slowloris") return FaultKind::Slowloris;
+    if (word == "torn_frame") return FaultKind::TornFrame;
+    if (word == "stall") return FaultKind::Stall;
+    if (word == "storm") return FaultKind::Storm;
+    throw std::invalid_argument(
+        "fault spec: unknown kind in '" + entry +
+        "' (throw|nan|noconv|budget|write|slowloris|torn_frame|stall|storm)");
 }
 
 FaultSpec parse_entry(const std::string& entry) {
@@ -81,6 +86,16 @@ bool FaultPlan::matches(FaultKind k, std::string_view name,
     return false;
 }
 
+std::optional<std::uint64_t> FaultPlan::value(FaultKind k, std::string_view name,
+                                              std::uint64_t fallback) const noexcept {
+    for (const FaultSpec& s : specs_) {
+        if (s.kind != k) continue;
+        if (s.target != "*" && name.find(s.target) == std::string_view::npos) continue;
+        return s.any_run ? fallback : s.run_id;
+    }
+    return std::nullopt;
+}
+
 const FaultPlan& fault_plan() { return mutable_plan(); }
 
 void set_fault_plan(FaultPlan plan) { mutable_plan() = std::move(plan); }
@@ -89,6 +104,13 @@ bool fault_fires(FaultKind k, std::string_view name, std::uint64_t run_id) {
     const FaultPlan& plan = fault_plan();
     if (plan.empty()) return false;
     return plan.matches(k, name, run_id);
+}
+
+std::optional<std::uint64_t> fault_value(FaultKind k, std::string_view name,
+                                         std::uint64_t fallback) {
+    const FaultPlan& plan = fault_plan();
+    if (plan.empty()) return std::nullopt;
+    return plan.value(k, name, fallback);
 }
 
 void maybe_throw_injected(std::string_view name, std::uint64_t run_id) {

@@ -9,6 +9,17 @@
 //   budget@<name>        force solver budget exhaustion (max_iterations = 1)
 //   write@<name>         abort an atomic_write_file mid-stream (partial tmp)
 //
+// Service (network-chaos) faults, PR 10. For these kinds the optional #N
+// suffix is a PARAMETER of the fault (milliseconds / count), not a
+// replication matcher; read it with fault_value():
+//
+//   slowloris@conn[#ms]  client send dribbles one byte every `ms` (default 1)
+//   torn_frame@conn      client sends half a frame, then half-closes
+//   stall@solve#ms       hapd sleeps `ms` inside the solve path (builds the
+//                        queue depth that triggers the overload ladder)
+//   storm@accept#n       sizes the chaos harness's connection storm (`n`
+//                        simultaneous clients); the daemon itself has no hook
+//
 // `<name>` matches by substring against the scenario / sweep-point / file
 // name ("*" matches everything); `#rep` pins the fault to one replication id
 // (absent = every replication). Entries are comma-separated, e.g.
@@ -26,13 +37,25 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace hap::experiment {
 
-enum class FaultKind { Throw, Nan, NoConverge, Budget, WriteAbort };
+enum class FaultKind {
+    Throw,
+    Nan,
+    NoConverge,
+    Budget,
+    WriteAbort,
+    // Service chaos kinds (value-carrying: #N is a parameter, not a rep).
+    Slowloris,
+    TornFrame,
+    Stall,
+    Storm,
+};
 
 // One parsed spec entry.
 struct FaultSpec {
@@ -56,6 +79,12 @@ public:
     // True when some entry of kind `k` matches (name, run_id).
     bool matches(FaultKind k, std::string_view name, std::uint64_t run_id) const noexcept;
 
+    // Value-carrying kinds (stall/slowloris/storm): the first entry of kind
+    // `k` whose target matches `name` yields its #N payload, or `fallback`
+    // when the entry carries none. nullopt = no entry matches (fault off).
+    std::optional<std::uint64_t> value(FaultKind k, std::string_view name,
+                                       std::uint64_t fallback) const noexcept;
+
 private:
     std::vector<FaultSpec> specs_;
 };
@@ -69,6 +98,12 @@ void set_fault_plan(FaultPlan plan);
 // Hook helper: true when the active plan fires `k` at (name, run_id). The
 // common no-plan case is one cheap empty() check.
 bool fault_fires(FaultKind k, std::string_view name, std::uint64_t run_id);
+
+// Value-carrying hook helper: the active plan's #N parameter for `k` at
+// `name` (fallback when the matching entry has no #N), nullopt when no entry
+// matches. The no-plan case is one cheap empty() check.
+std::optional<std::uint64_t> fault_value(FaultKind k, std::string_view name,
+                                         std::uint64_t fallback = 1);
 
 // Throw-kind hook: throws std::runtime_error("injected fault: ...") when the
 // plan fires FaultKind::Throw at (name, run_id).

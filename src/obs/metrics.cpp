@@ -92,6 +92,16 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
     it->second = value;
 }
 
+void MetricsRegistry::set_gauge_max(std::string_view name, double value) {
+    if (!enabled()) return;
+    const core::MutexLock lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), value).first;
+    else if (value > it->second)
+        it->second = value;
+}
+
 void MetricsRegistry::observe(std::string_view name, double value) {
     if (!enabled()) return;
     const core::MutexLock lock(mutex_);

@@ -67,6 +67,10 @@ public:
     // All mutators no-op (without locking) while enabled() is false.
     std::uint64_t add_counter(std::string_view name, std::uint64_t delta = 1);
     void set_gauge(std::string_view name, double value);
+    // High-water gauge: keeps the maximum of every reported value (creates
+    // the gauge at `value` on first report). The overload depth gauges use
+    // this so a scrape shows the worst queue depth seen, not the last.
+    void set_gauge_max(std::string_view name, double value);
     void observe(std::string_view name, double value);  // histogram sample
     void record_solver(SolverTelemetry record);         // fills empty label from scope
 

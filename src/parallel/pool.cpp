@@ -18,7 +18,10 @@ struct Pool::Impl {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<std::function<void()>> queue;
-    bool stopping = false;
+    std::size_t max_queue = 0;  // 0 = unbounded
+    std::size_t running = 0;    // jobs currently inside job()
+    bool stopping = false;      // drop pending jobs, stop after current
+    bool draining = false;      // run pending jobs, then stop
     std::vector<std::thread> workers;
     std::function<void(std::exception_ptr)> on_error;
 
@@ -27,23 +30,31 @@ struct Pool::Impl {
             std::function<void()> job;
             {
                 std::unique_lock<std::mutex> lock(mutex);
-                cv.wait(lock, [&] { return stopping || !queue.empty(); });
+                cv.wait(lock, [&] { return stopping || draining || !queue.empty(); });
                 if (stopping) return;  // pending jobs are dropped by contract
+                if (queue.empty()) return;  // draining and nothing left
                 job = std::move(queue.front());
                 queue.pop_front();
+                ++running;
             }
             try {
                 job();
             } catch (...) {
                 if (on_error) on_error(std::current_exception());
             }
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                --running;
+            }
         }
     }
 };
 
-Pool::Pool(std::size_t threads, std::function<void(std::exception_ptr)> on_error)
+Pool::Pool(std::size_t threads, std::function<void(std::exception_ptr)> on_error,
+           std::size_t max_queue)
     : impl_(new Impl) {
     impl_->on_error = std::move(on_error);
+    impl_->max_queue = max_queue;
     if (threads == 0) threads = 1;
     impl_->workers.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
@@ -58,7 +69,9 @@ Pool::~Pool() {
 bool Pool::submit(std::function<void()> job) {
     {
         const std::lock_guard<std::mutex> lock(impl_->mutex);
-        if (impl_->stopping) return false;
+        if (impl_->stopping || impl_->draining) return false;
+        if (impl_->max_queue > 0 && impl_->queue.size() >= impl_->max_queue)
+            return false;  // bounded queue full: the caller sheds explicitly
         impl_->queue.push_back(std::move(job));
     }
     impl_->cv.notify_one();
@@ -80,6 +93,31 @@ void Pool::shutdown() {
     impl_->workers.clear();
 }
 
+void Pool::drain() {
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (impl_->stopping) return;  // shutdown already dropped the queue
+        impl_->draining = true;
+    }
+    impl_->cv.notify_all();
+    for (std::thread& t : impl_->workers)
+        if (t.joinable()) t.join();
+    impl_->workers.clear();
+    // The pool is finished: later submit()/shutdown() calls are cheap no-ops.
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+}
+
 std::size_t Pool::threads() const noexcept { return impl_->workers.size(); }
+
+std::size_t Pool::depth() const {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->queue.size();
+}
+
+std::size_t Pool::active() const {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->running;
+}
 
 }  // namespace hap::parallel

@@ -31,8 +31,15 @@ public:
     // from the worker with the exception a job escaped with; it must not
     // throw. No getenv here: sizing is phase-0 configuration owned by the
     // front end (see env_threads()).
+    //
+    // `max_queue` bounds the PENDING job queue (jobs submitted but not yet
+    // started): a submit that would push the queue past the bound is refused
+    // instead of growing it without limit — the backpressure signal an
+    // overloaded service turns into an explicit shed frame. 0 = unbounded
+    // (the pre-PR-10 behavior).
     explicit Pool(std::size_t threads,
-                  std::function<void(std::exception_ptr)> on_error = nullptr);
+                  std::function<void(std::exception_ptr)> on_error = nullptr,
+                  std::size_t max_queue = 0);
 
     // Drains nothing: pending jobs that have not started are dropped; jobs
     // already running are joined. Callers that need every submitted job to
@@ -43,13 +50,27 @@ public:
     Pool(const Pool&) = delete;
     Pool& operator=(const Pool&) = delete;
 
-    // Enqueue a job. Returns false (job not enqueued) after shutdown began.
+    // Enqueue a job. Returns false (job not enqueued) after shutdown/drain
+    // began or when the bounded queue is full.
     bool submit(std::function<void()> job);
 
-    // Ask workers to stop after their current job, then join them. Idempotent.
+    // Ask workers to stop after their current job, then join them. Pending
+    // jobs that never started are dropped. Idempotent.
     void shutdown();
 
+    // Graceful counterpart to shutdown(): refuse new submissions, run every
+    // already-enqueued job to completion, then join the workers. In-flight
+    // queries get their answers instead of vanishing with the queue
+    // (Hapd::stop() uses this). Idempotent; safe to follow with shutdown().
+    void drain();
+
     std::size_t threads() const noexcept;
+
+    // Observability for the depth gauge: jobs waiting in the queue, and jobs
+    // a worker is currently running. Snapshots under the pool lock —
+    // coherent, but stale the instant it returns; use for metrics, not logic.
+    std::size_t depth() const;
+    std::size_t active() const;
 
 private:
     struct Impl;

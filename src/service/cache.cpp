@@ -113,6 +113,24 @@ std::optional<NearestState> PointCache::nearest(const std::string& family,
     return NearestState{best->state, best->coord};
 }
 
+std::optional<NearestResult> PointCache::nearest_result(const std::string& family,
+                                                        double coord) const {
+    const core::MutexLock lock(mutex_);
+    const CachedPoint* best = nullptr;
+    double best_dist = 0.0;
+    for (const CachedPoint& e : entries_) {
+        if (e.family != family || e.quality != "ok") continue;
+        const double dist = std::abs(e.coord - coord);
+        if (best == nullptr || dist < best_dist ||
+            (dist == best_dist && e.coord < best->coord)) {  // haplint: allow(float-equality) deterministic tie-break on identical distances
+            best = &e;
+            best_dist = dist;
+        }
+    }
+    if (best == nullptr) return std::nullopt;
+    return NearestResult{best->result, best->coord};
+}
+
 void PointCache::insert(CachedPoint point) {
     Json rec = Json::object();
     {

@@ -65,6 +65,14 @@ struct NearestState {
     double coord = 0.0;
 };
 
+// An approx-rung candidate (overload ladder, DESIGN.md §4l): the nearest
+// cached "ok" ANSWER in a family — unlike NearestState it needs no in-memory
+// lattice, so entries restored from disk qualify too.
+struct [[nodiscard]] NearestResult {
+    experiment::Json result;
+    double coord = 0.0;
+};
+
 class PointCache {
 public:
     // `path` empty = memory-only. Otherwise loads the existing file (missing
@@ -83,6 +91,12 @@ public:
     // still holds an in-memory state. Ties break toward the lower coordinate
     // (deterministic). nullopt when the family has no warm candidate.
     std::optional<NearestState> nearest(const std::string& family, double coord) const;
+
+    // Nearest "ok" cached ANSWER in `family` by |coord - its coord|, state
+    // or no state (same deterministic tie-break as nearest()). Serves the
+    // overload ladder's approx rung; the caller applies its distance bound.
+    std::optional<NearestResult> nearest_result(const std::string& family,
+                                                double coord) const;
 
     // Insert (or overwrite) a point and append it to the cache file. A
     // persistence failure — including an injected write@<path> fault tearing

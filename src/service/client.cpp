@@ -1,18 +1,74 @@
 #include "service/client.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <arpa/inet.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "experiment/faultinject.hpp"
+#include "experiment/json.hpp"
 
 namespace hap::service {
 
-Client Client::connect_unix(const std::string& path) {
+namespace {
+
+// Connect with a bounded wait: non-blocking connect, poll for writability
+// until the deadline, then read the socket's own error. timeout_ms <= 0
+// blocks indefinitely (but still survives EINTR, which a plain blocking
+// connect does not — an interrupted connect keeps going asynchronously and
+// must be waited on, not re-issued). Returns false on failure/timeout.
+bool connect_bounded(int fd, const sockaddr* addr, socklen_t len, int timeout_ms) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+    bool pending = false;
+    if (::connect(fd, addr, len) != 0) {
+        if (errno != EINPROGRESS && errno != EINTR) return false;
+        pending = true;
+    }
+    if (pending) {
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point deadline =
+            Clock::now() + std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+        for (;;) {
+            int wait = -1;
+            if (timeout_ms > 0) {
+                const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now());
+                if (left.count() <= 0) return false;  // timed out
+                wait = static_cast<int>(left.count());
+            }
+            pollfd p{};
+            p.fd = fd;
+            p.events = POLLOUT;
+            const int rc = ::poll(&p, 1, wait);
+            if (rc < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+            if (rc == 0) return false;  // timed out
+            break;
+        }
+        int err = 0;
+        socklen_t errlen = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) != 0 || err != 0)
+            return false;
+    }
+    return ::fcntl(fd, F_SETFL, flags) >= 0;  // restore blocking mode
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path, int connect_timeout_ms) {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (path.size() >= sizeof(addr.sun_path))
@@ -20,14 +76,15 @@ Client Client::connect_unix(const std::string& path) {
     path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error("cannot create socket");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (!connect_bounded(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                         connect_timeout_ms)) {
         ::close(fd);
         throw std::runtime_error("cannot connect to " + path);
     }
     return Client(fd);
 }
 
-Client Client::connect_tcp(int port, const std::string& host) {
+Client Client::connect_tcp(int port, const std::string& host, int connect_timeout_ms) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -35,7 +92,8 @@ Client Client::connect_tcp(int port, const std::string& host) {
         throw std::runtime_error("bad host address: " + host);
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error("cannot create socket");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (!connect_bounded(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                         connect_timeout_ms)) {
         ::close(fd);
         throw std::runtime_error("cannot connect to " + host + ":" +
                                  std::to_string(port));
@@ -75,7 +133,27 @@ void Client::send_raw(std::string_view bytes) {
     }
 }
 
-void Client::send(const std::string& body) { send_raw(encode_frame(body)); }
+void Client::send(const std::string& body) {
+    const std::string frame = encode_frame(body);
+    // Chaos hooks (HAP_FAULT_INJECT, faultinject.hpp): a misbehaving-client
+    // simulation lives HERE, on the client side, so the daemon under test is
+    // the stock binary. slowloris@conn[#ms] dribbles one byte per `ms`;
+    // torn_frame@conn sends half the frame and half-closes.
+    if (const auto dribble = experiment::fault_value(
+            experiment::FaultKind::Slowloris, "conn")) {
+        for (std::size_t i = 0; i < frame.size(); ++i) {
+            send_raw(std::string_view(frame.data() + i, 1));
+            std::this_thread::sleep_for(std::chrono::milliseconds(*dribble));
+        }
+        return;
+    }
+    if (experiment::fault_value(experiment::FaultKind::TornFrame, "conn")) {
+        send_raw(std::string_view(frame).substr(0, frame.size() / 2));
+        shutdown_write();
+        return;
+    }
+    send_raw(frame);
+}
 
 std::optional<std::string> Client::recv() {
     for (;;) {
@@ -103,6 +181,73 @@ std::string Client::call(const std::string& body) {
 
 void Client::shutdown_write() {
     if (fd_ >= 0) (void)::shutdown(fd_, SHUT_WR);
+}
+
+namespace {
+
+// SplitMix64: the jitter stream. Tiny, seedable, and stateless beyond one
+// word — the whole backoff schedule is a pure function of RetryPolicy::seed.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CallOutcome call_with_retry(const std::function<Client()>& connect,
+                            const std::string& body, const RetryPolicy& policy) {
+    using experiment::Json;
+    CallOutcome out;
+    std::uint64_t jitter_state = policy.seed;
+    std::string last_error;
+    for (std::size_t attempt = 0;; ++attempt) {
+        out.attempts = attempt + 1;
+        std::uint64_t server_hint = 0;
+        bool have_body = false;
+        bool overloaded = false;
+        try {
+            Client c = connect();
+            out.body = c.call(body);
+            have_body = true;
+            try {
+                const Json j = Json::parse(out.body);
+                const Json* code = j.find("code");
+                if (code != nullptr && code->type() == Json::Type::String &&
+                    code->as_string() == "overloaded") {
+                    overloaded = true;
+                    const Json* hint = j.find("retry_after_ms");
+                    if (hint != nullptr && hint->type() == Json::Type::Int &&
+                        hint->as_int() > 0)
+                        server_hint = static_cast<std::uint64_t>(hint->as_int());
+                }
+            } catch (const std::exception&) {
+                // Unparseable response body: hand it back untouched.
+            }
+            if (!overloaded) return out;
+            last_error = "server overloaded";
+        } catch (const std::exception& e) {
+            last_error = e.what();  // refused, timed out, or lost mid-call
+        }
+        if (attempt >= policy.max_retries) {
+            // Out of attempts: a final overloaded frame is still a typed
+            // answer the caller can render; no response at all is a failure.
+            if (have_body) return out;
+            throw std::runtime_error("hapd call failed after " +
+                                     std::to_string(out.attempts) +
+                                     " attempt(s): " + last_error);
+        }
+        std::uint64_t wait =
+            policy.base_ms << std::min<std::size_t>(attempt, std::size_t{20});
+        wait = std::min(wait, policy.max_ms);
+        if (policy.jitter_ms > 0)
+            wait += splitmix64(jitter_state) % (policy.jitter_ms + 1);
+        wait = std::max(wait, server_hint);
+        out.waited_ms += wait;
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
 }
 
 }  // namespace hap::service

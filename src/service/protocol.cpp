@@ -127,6 +127,11 @@ Request parse_request(std::string_view body) {
         if (!id->is_string()) throw ProtocolError("'id' must be a string");
         r.id = id->as_string();
     }
+    if (const Json* dl = j.find("deadline_ms")) {
+        if (dl->type() != Json::Type::Int || dl->as_int() < 0)
+            throw ProtocolError("'deadline_ms' must be a nonnegative integer");
+        r.deadline_ms = static_cast<std::uint64_t>(dl->as_int());
+    }
     if (r.op == Op::Solve || r.op == Op::Admission) {
         const Json* model = j.find("model");
         const Json& m = model != nullptr ? *model : j;  // flat requests allowed
@@ -178,16 +183,20 @@ Json request_shell(const char* op, const std::string& id) {
 
 }  // namespace
 
-std::string build_solve_request(const ModelSpec& model, const std::string& id) {
+std::string build_solve_request(const ModelSpec& model, const std::string& id,
+                                std::uint64_t deadline_ms) {
     Json j = request_shell("solve", id);
+    if (deadline_ms > 0) j.set("deadline_ms", Json::integer(deadline_ms));
     j.set("model", model_json(model));
     return j.dump(0);
 }
 
 std::string build_admission_request(const ModelSpec& model, double delay_budget,
-                                    const std::string& id) {
+                                    const std::string& id,
+                                    std::uint64_t deadline_ms) {
     HAP_CHECK_FINITE(delay_budget);
     Json j = request_shell("admission", id);
+    if (deadline_ms > 0) j.set("deadline_ms", Json::integer(deadline_ms));
     j.set("model", model_json(model));
     j.set("budget", Json::number(delay_budget));
     return j.dump(0);
@@ -215,6 +224,22 @@ std::string error_response(const std::string& id, std::string_view code,
     j.set("code", Json::string(std::string(code)));
     j.set("error", Json::string(std::string(message)));
     return j.dump(0);
+}
+
+std::string overloaded_response(const std::string& id, std::uint64_t retry_after_ms,
+                                std::string_view message) {
+    Json j = Json::object();
+    j.set("ok", Json::boolean(false));
+    if (!id.empty()) j.set("id", Json::string(id));
+    j.set("code", Json::string("overloaded"));
+    j.set("error", Json::string(std::string(message)));
+    j.set("retry_after_ms", Json::integer(retry_after_ms));
+    return j.dump(0);
+}
+
+std::string deadline_exceeded_response(const std::string& id) {
+    return error_response(id, "deadline_exceeded",
+                          "deadline expired while the request was queued");
 }
 
 std::string ok_response(const std::string& id, const experiment::Json& payload) {

@@ -14,9 +14,21 @@
 // intact: the server answers an error frame and keeps the connection.
 //
 // Requests:  {"op":"ping"|"solve"|"admission"|"metrics"|"shutdown",
-//             "id":<string, echoed verbatim>, ...op-specific fields}
+//             "id":<string, echoed verbatim>,
+//             "deadline_ms":<optional nonneg int; 0/absent = no deadline>,
+//             ...op-specific fields}
 // Responses: {"ok":true,"id":...,...}  |  {"ok":false,"id":...,
-//             "code":<machine tag>,"error":<human text>}
+//             "code":<machine tag>,"error":<human text>,...}
+//
+// Overload semantics (PR 10, DESIGN.md §4l): `deadline_ms` is a RELATIVE
+// deadline — the client gives the server that many milliseconds from request
+// receipt; a request still queued when it expires is answered
+// {"code":"deadline_exceeded"} without spending a solve. A connection or
+// request shed by the admission governor is answered {"code":"overloaded",
+// "retry_after_ms":<int hint>} and the client's backoff honors the hint.
+// Degraded answers carry "quality":"approx" (nearest cached neighbor, with
+// "distance" = relative coordinate gap) or "quality":"clamped" (solved under
+// the reduced overload budget) instead of "ok".
 //
 // This header is transport-agnostic (pure bytes in / frames out) so the
 // decoder can be fuzzed without a socket; the fd-level helpers live in
@@ -104,6 +116,8 @@ struct Request {
     std::string id;  // echoed verbatim in the response; may be empty
     ModelSpec model;           // solve / admission
     double delay_budget = 0.0; // admission threshold; 0 = report-only
+    // Relative deadline in milliseconds from server-side receipt; 0 = none.
+    std::uint64_t deadline_ms = 0;
 
     // The shared Fig. 20 tuple this request asks about (admission op).
     core::AdmissionQuery admission_query() const;
@@ -114,10 +128,13 @@ struct Request {
 Request parse_request(std::string_view body);
 
 // Build request JSON text (client side). Model fields are always written
-// explicitly so the request is self-contained.
-std::string build_solve_request(const ModelSpec& model, const std::string& id);
+// explicitly so the request is self-contained. `deadline_ms` 0 omits the
+// field entirely, keeping deadline-free request bytes identical to PR 8.
+std::string build_solve_request(const ModelSpec& model, const std::string& id,
+                                std::uint64_t deadline_ms = 0);
 std::string build_admission_request(const ModelSpec& model, double delay_budget,
-                                    const std::string& id);
+                                    const std::string& id,
+                                    std::uint64_t deadline_ms = 0);
 std::string build_simple_request(Op op, const std::string& id);
 
 // --- Response helpers ------------------------------------------------------
@@ -126,5 +143,14 @@ std::string error_response(const std::string& id, std::string_view code,
                            std::string_view message);
 // Wrap `payload`'s members into {"ok":true,"id":...,<payload members>}.
 std::string ok_response(const std::string& id, const experiment::Json& payload);
+
+// Shed frame: {"ok":false,...,"code":"overloaded","retry_after_ms":N}. The
+// hint is the server's deterministic backoff floor (ServeOptions, not a
+// clock), so shed responses replay byte-identically.
+std::string overloaded_response(const std::string& id, std::uint64_t retry_after_ms,
+                                std::string_view message);
+// {"ok":false,...,"code":"deadline_exceeded"}: the request's deadline lapsed
+// while it was queued; no solve was spent on it.
+std::string deadline_exceeded_response(const std::string& id);
 
 }  // namespace hap::service

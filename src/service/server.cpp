@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <map>
@@ -16,11 +18,13 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
 
 #include "experiment/analytic.hpp"
+#include "experiment/faultinject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "parallel/pool.hpp"
@@ -77,16 +81,25 @@ Json solve_result_json(const core::Solution0Result& s0) {
     return r;
 }
 
+using Clock = std::chrono::steady_clock;
+
 // One client's claim on a (possibly shared) solve. Fields other than `done`
 // are written by the batch leader BEFORE done is set under the solve mutex,
-// so a woken waiter reads them race-free.
+// so a woken waiter reads them race-free. `claims` and `in_pending` are
+// deadline bookkeeping, only ever touched under the solve mutex: claims
+// counts clients still waiting on this waiter, and in_pending is true while
+// the request sits in the pending map (a leader has not yet taken it). A
+// request whose every claimant times out while still pending is removed
+// without spending a solve.
 struct Waiter {
     bool done = false;
     std::string source;   // "warm" | "cold"
-    std::string quality;  // "ok" | "degraded"
+    std::string quality;  // "ok" | "degraded" | "clamped"
     std::string error;    // non-empty = solve failed
     std::size_t batch = 1;
     Json result;
+    std::size_t claims = 0;
+    bool in_pending = true;
 };
 
 struct PendingReq {
@@ -107,6 +120,12 @@ struct Hapd::Impl {
     std::atomic<bool> stopping{false};
     std::unique_ptr<parallel::Pool> pool;
 
+    // Effective governor thresholds (0-valued options resolved); set once in
+    // Hapd::start() before any worker exists, read-only afterwards.
+    std::size_t max_conns_eff = 0;
+    std::size_t degrade_depth_eff = 0;
+    std::size_t shed_depth_eff = 0;
+
     // Open client connections, so stop() can unblock handlers parked in recv.
     std::mutex conn_mutex;
     std::set<int> conns;
@@ -116,11 +135,16 @@ struct Hapd::Impl {
     std::condition_variable stop_cv;
     bool stop_requested = false;
 
-    // Batching state: per-family pending queues and the in-flight leader set.
+    // Batching state: per-bucket pending queues and the in-flight leader set.
+    // A bucket is a family, or family + ";clamped" — clamped misses batch
+    // separately so a clamp-budget chain never feeds a full-budget one.
     std::mutex solve_mutex;
     std::condition_variable solve_cv;
     std::map<std::string, std::vector<PendingReq>> pending;
     std::set<std::string> in_flight;
+    // Solve-miss requests currently queued or solving (the overload ladder's
+    // depth measure); guarded by solve_mutex.
+    std::size_t solve_depth = 0;
 
     explicit Impl(ServeOptions o)
         : opts(std::move(o)), point_cache(opts.cache_path) {}
@@ -140,7 +164,12 @@ struct Hapd::Impl {
 
     // --- query handlers ----------------------------------------------------
 
-    std::string handle_solve(const Request& req) {
+    void dec_depth() {
+        const std::lock_guard<std::mutex> lock(solve_mutex);
+        --solve_depth;
+    }
+
+    std::string handle_solve(const Request& req, Clock::time_point arrival) {
         const obs::ScopedTimer timer("hapd.latency.solve");
         count("hapd.queries.solve");
         const std::string key = solve_key(req.model);
@@ -153,7 +182,58 @@ struct Hapd::Impl {
             return ok_response(req.id, payload);
         }
         count("hapd.cache.misses");
-        const std::shared_ptr<Waiter> w = enqueue_and_solve(req);
+
+        // Deadline is relative to frame receipt (protocol.hpp contract).
+        const Clock::time_point deadline =
+            req.deadline_ms > 0
+                ? arrival + std::chrono::milliseconds(req.deadline_ms)
+                : Clock::time_point::max();
+
+        // Overload ladder (DESIGN.md §4l): this miss holds a depth slot from
+        // here until it is answered; the depth at entry picks the rung.
+        bool clamped = false;
+        {
+            const std::lock_guard<std::mutex> lock(solve_mutex);
+            ++solve_depth;
+            if (obs::enabled())
+                obs::registry().set_gauge_max("hapd.overload.depth_max",
+                                              static_cast<double>(solve_depth));
+            if (solve_depth > shed_depth_eff) {
+                --solve_depth;
+                count("hapd.overload.shed");
+                return overloaded_response(req.id, opts.retry_after_ms,
+                                           "solve queue is full; retry later");
+            }
+            clamped = solve_depth > degrade_depth_eff;
+        }
+        if (clamped) {
+            // Approx rung first: a cached family neighbor inside the distance
+            // bound answers without spending any solve at all.
+            auto near = point_cache.nearest_result(solve_family(req.model),
+                                                   req.model.lambda);
+            if (near.has_value()) {
+                const double denom = std::max(std::abs(req.model.lambda), 1e-300);
+                const double dist = std::abs(near->coord - req.model.lambda) / denom;
+                if (dist <= opts.approx_rel_distance) {
+                    dec_depth();
+                    count("hapd.overload.approx");
+                    Json payload = Json::object();
+                    payload.set("source", Json::string("approx"));
+                    payload.set("quality", Json::string("approx"));
+                    payload.set("distance", Json::number(dist));
+                    payload.set("result", std::move(near->result));
+                    return ok_response(req.id, payload);
+                }
+            }
+            count("hapd.overload.clamped");
+        }
+
+        const std::shared_ptr<Waiter> w = enqueue_and_solve(req, deadline, clamped);
+        dec_depth();
+        if (w == nullptr) {
+            count("hapd.overload.deadline_exceeded");
+            return deadline_exceeded_response(req.id);
+        }
         if (!w->error.empty()) return error_response(req.id, "solve-failed", w->error);
         Json payload = Json::object();
         payload.set("source", Json::string(w->source));
@@ -221,8 +301,10 @@ struct Hapd::Impl {
         return ok_response(req.id, payload);
     }
 
-    // Returns (response body, shutdown-after-send).
-    std::pair<std::string, bool> handle_request(const std::string& body) {
+    // Returns (response body, shutdown-after-send). `arrival` is when the
+    // request's complete frame was received — the deadline_ms epoch.
+    std::pair<std::string, bool> handle_request(const std::string& body,
+                                                Clock::time_point arrival) {
         const obs::ScopedTimer timer("hapd.latency.request");
         count("hapd.queries");
         Request req;
@@ -241,7 +323,7 @@ struct Hapd::Impl {
                     return {ok_response(req.id, payload), false};
                 }
                 case Op::Solve:
-                    return {handle_solve(req), false};
+                    return {handle_solve(req, arrival), false};
                 case Op::Admission:
                     return {handle_admission(req), false};
                 case Op::Metrics:
@@ -262,12 +344,28 @@ struct Hapd::Impl {
 
     // --- batched solve path ------------------------------------------------
 
-    std::shared_ptr<Waiter> enqueue_and_solve(const Request& req) {
+    // Withdraw a pending request whose every claimant gave up (solve_mutex held).
+    void remove_pending(const std::string& bucket, const std::shared_ptr<Waiter>& w) {
+        const auto it = pending.find(bucket);
+        if (it == pending.end()) return;
+        std::vector<PendingReq>& vec = it->second;
+        vec.erase(std::remove_if(vec.begin(), vec.end(),
+                                 [&](const PendingReq& p) { return p.waiter == w; }),
+                  vec.end());
+        if (vec.empty()) pending.erase(it);
+    }
+
+    // Returns the answered waiter, or nullptr when the request's deadline
+    // expired while it was queued behind an in-flight batch leader.
+    std::shared_ptr<Waiter> enqueue_and_solve(const Request& req,
+                                              Clock::time_point deadline,
+                                              bool clamped) {
         const std::string family = solve_family(req.model);
+        const std::string bucket = clamped ? family + ";clamped" : family;
         const std::string key = solve_key(req.model);
         std::unique_lock<std::mutex> lock(solve_mutex);
         std::shared_ptr<Waiter> w;
-        for (const PendingReq& p : pending[family]) {
+        for (const PendingReq& p : pending[bucket]) {
             if (p.key == key) {
                 w = p.waiter;  // identical pending query: share one solve
                 break;
@@ -275,36 +373,51 @@ struct Hapd::Impl {
         }
         if (w == nullptr) {
             w = std::make_shared<Waiter>();
-            pending[family].push_back(PendingReq{key, req.model.lambda, req.model, w});
+            pending[bucket].push_back(PendingReq{key, req.model.lambda, req.model, w});
         }
-        if (in_flight.count(family) != 0) {
+        w->claims += 1;
+        if (in_flight.count(bucket) != 0) {
             count("hapd.batch.followers");
-            solve_cv.wait(lock, [&] { return w->done; });
+            bool answered = true;
+            if (deadline == Clock::time_point::max()) {
+                solve_cv.wait(lock, [&] { return w->done; });
+            } else {
+                answered = solve_cv.wait_until(lock, deadline, [&] { return w->done; });
+            }
+            if (!answered) {
+                // Give up the claim; if nobody else wants this point and no
+                // leader has taken it yet, withdraw it so no solve is spent.
+                w->claims -= 1;
+                if (w->claims == 0 && w->in_pending) remove_pending(bucket, w);
+                return nullptr;
+            }
             return w;
         }
-        in_flight.insert(family);
+        in_flight.insert(bucket);
         for (;;) {
-            const auto it = pending.find(family);
+            const auto it = pending.find(bucket);
             if (it == pending.end() || it->second.empty()) {
                 if (it != pending.end()) pending.erase(it);
                 break;
             }
             std::vector<PendingReq> batch = std::move(it->second);
             pending.erase(it);
+            for (const PendingReq& p : batch) p.waiter->in_pending = false;
             lock.unlock();
             const std::vector<std::shared_ptr<Waiter>> finished =
-                solve_batch(family, std::move(batch));
+                solve_batch(family, clamped, std::move(batch));
             lock.lock();
             for (const std::shared_ptr<Waiter>& fin : finished) fin->done = true;
             solve_cv.notify_all();
         }
-        in_flight.erase(family);
+        in_flight.erase(bucket);
         lock.unlock();
         solve_cv.notify_all();
         return w;
     }
 
     std::vector<std::shared_ptr<Waiter>> solve_batch(const std::string& family,
+                                                     bool clamped,
                                                      std::vector<PendingReq> batch) {
         count("hapd.batch.rounds");
         // Deterministic grid: ascending continuation coordinate (key breaks
@@ -347,6 +460,32 @@ struct Hapd::Impl {
             }
         };
 
+        // Deadline pre-filter: a point whose every claimant already timed out
+        // while it was queued is dropped without spending a solve (each
+        // claimant answered itself deadline_exceeded on wake-up).
+        {
+            const std::lock_guard<std::mutex> lock(solve_mutex);
+            std::vector<Point> live;
+            live.reserve(points.size());
+            for (Point& pt : points) {
+                bool claimed = false;
+                for (const std::shared_ptr<Waiter>& w : pt.waiters) {
+                    if (w->claims > 0) {
+                        claimed = true;
+                        break;
+                    }
+                }
+                if (claimed) {
+                    live.push_back(std::move(pt));
+                } else {
+                    count("hapd.overload.expired_points");
+                    for (const std::shared_ptr<Waiter>& w : pt.waiters)
+                        finished.push_back(w);
+                }
+            }
+            points = std::move(live);
+        }
+
         // A solve that raced us may have landed these keys already.
         std::vector<Point> todo;
         for (Point& pt : points) {
@@ -359,6 +498,16 @@ struct Hapd::Impl {
         }
         if (todo.empty()) return finished;
         if (todo.size() > 1) count("hapd.batch.coalesced", todo.size() - 1);
+
+        // Chaos hook: stall@solve#ms holds the batch leader here — in_flight
+        // held, followers queued — for the scripted duration. This is the
+        // window the chaos harness uses to pile deterministic load behind one
+        // solve and exercise every ladder rung.
+        if (const auto stall =
+                experiment::fault_value(experiment::FaultKind::Stall, "solve")) {
+            count("hapd.solve.stalls");
+            std::this_thread::sleep_for(std::chrono::milliseconds(*stall));
+        }
 
         // Continuation chain over the batch, seeded from the family's nearest
         // solved neighbor (PR 4 warm-start machinery end to end).
@@ -375,7 +524,7 @@ struct Hapd::Impl {
         sweep.solver.max_sweeps = opts.max_sweeps;
         sweep.solver.max_messages = opts.zmax;
         sweep.solver.check_every = 10;
-        sweep.solver.budget = opts.budget;
+        sweep.solver.budget = clamped ? opts.clamp_budget : opts.budget;
         sweep.solver.threads = opts.solver_threads;
         if (opts.solver_threads != 1) sweep.solver.coloring = markov::ColoringMode::kColored;
         if (seed.has_value()) {
@@ -416,18 +565,24 @@ struct Hapd::Impl {
             if (pr.quality == "degraded") count("hapd.solve.degraded");
             Json result = solve_result_json(pr.s0);
 
-            CachedPoint cp;
-            cp.key = pt.key;
-            cp.family = family;
-            cp.coord = pt.coord;
-            cp.kind = "solve";
-            cp.quality = pr.quality;
-            cp.result = result;
-            cp.state = std::move(pr.s0.state);
-            point_cache.insert(std::move(cp));
+            if (!clamped) {
+                // Clamped answers are deliberately NOT cached: a later
+                // unloaded solve of the same point must run at full budget
+                // and land the real answer (also keeps the cache file
+                // byte-identical to a fault-free, unloaded run).
+                CachedPoint cp;
+                cp.key = pt.key;
+                cp.family = family;
+                cp.coord = pt.coord;
+                cp.kind = "solve";
+                cp.quality = pr.quality;
+                cp.result = result;
+                cp.state = std::move(pr.s0.state);
+                point_cache.insert(std::move(cp));
+            }
 
-            deliver(pt, warm ? "warm" : "cold", pr.quality, std::move(result), "",
-                    todo.size());
+            deliver(pt, warm ? "warm" : "cold", clamped ? "clamped" : pr.quality,
+                    std::move(result), "", todo.size());
         }
         return finished;
     }
@@ -477,6 +632,17 @@ struct Hapd::Impl {
         }
     }
 
+    // Explicit early drop (connection governor): one overloaded frame with
+    // the retry hint, then close. The send is SO_SNDTIMEO-bounded, so a
+    // stalled client cannot wedge the accept loop.
+    void shed_connection(int fd) {
+        count("hapd.overload.shed_conns");
+        (void)send_all(fd, encode_frame(overloaded_response(
+                               "", opts.retry_after_ms,
+                               "connection limit reached; retry later")));
+        (void)::close(fd);
+    }
+
     void accept_loop() {
         while (!stopping.load()) {
             pollfd p{};
@@ -491,12 +657,34 @@ struct Hapd::Impl {
             }
             set_io_timeouts(fd, opts.recv_timeout_ms);
             count("hapd.connections");
+            bool admitted = false;
             {
                 const std::lock_guard<std::mutex> lock(conn_mutex);
-                conns.insert(fd);
+                if (conns.size() < max_conns_eff) {
+                    conns.insert(fd);
+                    admitted = true;
+                    if (obs::enabled())
+                        obs::registry().set_gauge_max(
+                            "hapd.conns.open_max",
+                            static_cast<double>(conns.size()));
+                }
+            }
+            if (!admitted) {
+                shed_connection(fd);
+                continue;
             }
             if (!pool->submit([this, fd] { handle_connection(fd); })) {
-                drop_connection(fd);
+                // The bounded pending queue refused the job: same explicit
+                // shed (unless we are stopping, where silence is fine).
+                {
+                    const std::lock_guard<std::mutex> lock(conn_mutex);
+                    conns.erase(fd);
+                }
+                if (stopping.load()) {
+                    (void)::close(fd);
+                } else {
+                    shed_connection(fd);
+                }
             }
         }
     }
@@ -510,19 +698,56 @@ struct Hapd::Impl {
     }
 
     void handle_connection(int fd) {
+        if (stopping.load()) {
+            // A drained job that only started after shutdown began: answer an
+            // explicit error instead of a silent EOF.
+            (void)send_all(fd, encode_frame(error_response(
+                                   "", "shutting-down", "daemon is stopping")));
+            drop_connection(fd);
+            return;
+        }
         FrameReader reader(opts.max_frame);
         char buf[4096];
         bool open = true;
+        // One deadline covers the idle client and the slowloris client alike:
+        // a COMPLETE frame must arrive every recv_timeout_ms; partial bytes
+        // do not extend it (server.hpp contract).
+        const auto frame_timeout = std::chrono::milliseconds(
+            opts.recv_timeout_ms > 0 ? opts.recv_timeout_ms : 0);
+        Clock::time_point frame_deadline = opts.recv_timeout_ms > 0
+                                               ? Clock::now() + frame_timeout
+                                               : Clock::time_point::max();
         while (open && !stopping.load()) {
+            pollfd p{};
+            p.fd = fd;
+            p.events = POLLIN;
+            // Bounded tick: honors both stop() and the frame deadline even
+            // when the client sends nothing at all.
+            const int rc = ::poll(&p, 1, 200);
+            if (rc < 0) {
+                if (errno == EINTR) continue;
+                break;
+            }
+            if (rc == 0) {
+                if (Clock::now() >= frame_deadline) {
+                    count("hapd.conn.timeouts");
+                    break;
+                }
+                continue;
+            }
             const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
             if (n == 0) break;  // client closed (possibly mid-frame: just drop)
             if (n < 0) {
-                if (errno == EINTR) continue;
-                break;  // timeout (EAGAIN) or hard error: close
+                if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+                    continue;
+                break;  // hard error: close
             }
+            const Clock::time_point arrival = Clock::now();
             reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+            bool completed_frame = false;
             while (auto body = reader.next()) {
-                const auto [response, shutdown_after] = handle_request(*body);
+                completed_frame = true;
+                const auto [response, shutdown_after] = handle_request(*body, arrival);
                 if (!send_all(fd, encode_frame(response))) {
                     open = false;
                     break;
@@ -534,11 +759,20 @@ struct Hapd::Impl {
                 }
             }
             if (reader.failed()) {
-                // Framing is unrecoverable: answer one structured error
-                // (best-effort) and drop the connection.
+                // Framing is unrecoverable — a torn or oversized frame:
+                // answer one structured error (best-effort) and drop.
                 count("hapd.protocol.errors");
                 (void)send_all(fd, encode_frame(error_response("", "frame-error",
                                                                reader.error())));
+                break;
+            }
+            if (completed_frame) {
+                frame_deadline = opts.recv_timeout_ms > 0
+                                     ? Clock::now() + frame_timeout
+                                     : Clock::time_point::max();
+            } else if (Clock::now() >= frame_deadline) {
+                // Bytes trickled in but no frame finished: the slowloris case.
+                count("hapd.conn.timeouts");
                 break;
             }
         }
@@ -557,10 +791,25 @@ void Hapd::start() {
     // The scrape endpoint and the serving counters are part of the service
     // contract, so the registry is always on while a daemon runs.
     obs::set_enabled(true);
+    // Chaos plans parse once here, on the coordinating thread, before any
+    // worker exists (env-after-spawn discipline, DESIGN.md §4h).
+    (void)experiment::fault_plan();
+    const std::size_t threads = std::max<std::size_t>(impl_->opts.threads, 1);
+    impl_->max_conns_eff = impl_->opts.max_connections != 0
+                               ? impl_->opts.max_connections
+                               : threads + impl_->opts.max_pending;
+    impl_->degrade_depth_eff =
+        impl_->opts.degrade_depth != 0 ? impl_->opts.degrade_depth : threads;
+    impl_->shed_depth_eff =
+        impl_->opts.shed_depth != 0 ? impl_->opts.shed_depth : 4 * threads;
     impl_->open_socket();
     // +1: one pool slot is the accept loop itself; `threads` handle clients.
+    // The pool's bounded job queue IS the pending-connection bound; with
+    // max_pending = 0 one transient slot remains so a handler finishing its
+    // close never sheds the connection replacing it (the connection governor
+    // is the primary cap in that configuration).
     impl_->pool = std::make_unique<parallel::Pool>(
-        std::max<std::size_t>(impl_->opts.threads, 1) + 1,
+        threads + 1,
         [this](std::exception_ptr ep) {
             try {
                 if (ep) std::rethrow_exception(ep);
@@ -569,7 +818,8 @@ void Hapd::start() {
             } catch (...) {
                 impl_->log("hapd: worker error (non-standard exception)");
             }
-        });
+        },
+        std::max<std::size_t>(impl_->opts.max_pending, 1));
     impl_->pool->submit([this] { impl_->accept_loop(); });
     impl_->log("hapd: listening on " + endpoint() +
                (impl_->opts.cache_path.empty()
@@ -588,13 +838,12 @@ void Hapd::wait() {
 
 void Hapd::stop() {
     impl_->request_stop();
-    {
-        // Unblock handlers parked in recv(): a shutdown elicits EOF.
-        const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
-        for (const int fd : impl_->conns) (void)::shutdown(fd, SHUT_RDWR);
-    }
     if (impl_->pool) {
-        impl_->pool->shutdown();
+        // Drain, not abandon: handlers notice `stopping` at their next 200 ms
+        // poll tick, finish (and answer) the request in hand, and queued
+        // connections get an explicit shutting-down error instead of a lost
+        // reply. Every completed solve reaches the cache file before exit.
+        impl_->pool->drain();
         impl_->pool.reset();
     }
     if (impl_->listen_fd >= 0) {

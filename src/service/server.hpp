@@ -58,7 +58,37 @@ struct ServeOptions {
     std::size_t solver_threads = 1;  // colored-GS workers per solve
 
     std::uint32_t max_frame = kMaxFrameBody;
-    int recv_timeout_ms = 30000;   // per-connection read timeout
+    // A connection must deliver a complete frame at least every
+    // recv_timeout_ms or it is dropped (and counted in hapd.conn.timeouts).
+    // One deadline covers both the idle client and the slowloris client that
+    // dribbles a byte at a time — progress inside a frame does NOT reset it.
+    int recv_timeout_ms = 30000;
+
+    // --- Overload governor & degradation ladder (PR 10, DESIGN.md §4l) ---
+    // Hard cap on admitted connections (being served + waiting for a
+    // worker). 0 = threads + max_pending. A connection past the cap is
+    // answered one "overloaded" frame carrying retry_after_ms and closed —
+    // an explicit early drop instead of silent accept-backlog growth.
+    std::size_t max_connections = 0;
+    // Bound on the pending-connection queue (admitted, no worker yet); this
+    // is the resident pool's bounded job queue.
+    std::size_t max_pending = 16;
+    // Retry hint carried in every shed frame. A fixed number from config,
+    // never a clock read, so shed responses replay byte-identically.
+    std::uint64_t retry_after_ms = 50;
+    // Degradation ladder thresholds, measured in concurrently queued/solving
+    // solve-miss requests. A miss arriving at depth > degrade_depth answers
+    // from the nearest cached family neighbor within approx_rel_distance
+    // (quality "approx", with the relative distance reported) or, failing
+    // that, solves under clamp_budget (quality "clamped", result not
+    // cached); at depth > shed_depth it is shed with an overloaded frame.
+    // 0 = derived at start(): degrade = threads, shed = 4 * threads.
+    std::size_t degrade_depth = 0;
+    std::size_t shed_depth = 0;
+    double approx_rel_distance = 0.05;
+    core::SolveBudget clamp_budget{/*max_iterations=*/250, /*max_states=*/0,
+                                   /*wall_ms=*/0};
+
     std::function<void(const std::string&)> log;  // optional diagnostics sink
 };
 
@@ -77,7 +107,9 @@ public:
     // Block until a client's shutdown op (or stop()) ends the serve loop.
     void wait();
 
-    // Stop accepting, shut down every open connection, join the pool.
+    // Stop accepting and DRAIN: in-flight requests finish and get their
+    // replies (completed solves reach the cache file), queued connections get
+    // an explicit shutting-down error, then the pool joins.
     // Idempotent; must be called from outside the pool (the owner thread).
     void stop();
 

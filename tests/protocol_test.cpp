@@ -233,6 +233,75 @@ TEST(RequestParsing, BuilderParserRoundTripIsExact) {
     EXPECT_THROW((void)build_simple_request(Op::Solve, ""), ProtocolError);
 }
 
+// PR 10 surface: relative deadlines and the overload envelopes.
+TEST(RequestParsing, DeadlineRoundTripsAndZeroIsOmitted) {
+    ModelSpec m;
+    const Request r = parse_request(build_solve_request(m, "d1", 1500));
+    EXPECT_EQ(r.deadline_ms, 1500u);
+    const Request a = parse_request(build_admission_request(m, 0.1, "d2", 77));
+    EXPECT_EQ(a.deadline_ms, 77u);
+    // deadline_ms 0 omits the field entirely: deadline-free request bytes are
+    // identical to the pre-deadline protocol (cache keys stay stable).
+    EXPECT_EQ(build_solve_request(m, "d1", 0), build_solve_request(m, "d1"));
+    EXPECT_EQ(build_solve_request(m, "d1").find("deadline_ms"), std::string::npos);
+    EXPECT_EQ(parse_request(build_solve_request(m, "d1")).deadline_ms, 0u);
+}
+
+TEST(RequestParsing, RejectsMalformedDeadlines) {
+    EXPECT_THROW((void)parse_request(R"({"op":"ping","deadline_ms":-5})"),
+                 ProtocolError);
+    EXPECT_THROW((void)parse_request(R"({"op":"ping","deadline_ms":"soon"})"),
+                 ProtocolError);
+    EXPECT_THROW((void)parse_request(R"({"op":"ping","deadline_ms":1.5})"),
+                 ProtocolError);
+    EXPECT_THROW((void)parse_request(R"({"op":"ping","deadline_ms":true})"),
+                 ProtocolError);
+    EXPECT_THROW((void)parse_request(R"({"op":"ping","deadline_ms":[1]})"),
+                 ProtocolError);
+}
+
+TEST(Responses, OverloadEnvelopesRoundTripUnderEverySplit) {
+    const std::string shed = hap::service::overloaded_response("q9", 75, "busy");
+    const Json j = Json::parse(shed);
+    EXPECT_FALSE(j.at("ok").as_bool());
+    EXPECT_EQ(j.at("id").as_string(), "q9");
+    EXPECT_EQ(j.at("code").as_string(), "overloaded");
+    EXPECT_EQ(j.at("retry_after_ms").as_uint(), 75u);
+    EXPECT_EQ(j.at("error").as_string(), "busy");
+
+    const std::string late = hap::service::deadline_exceeded_response("q10");
+    const Json d = Json::parse(late);
+    EXPECT_FALSE(d.at("ok").as_bool());
+    EXPECT_EQ(d.at("code").as_string(), "deadline_exceeded");
+
+    // Every split position of the two-frame stream reassembles identically —
+    // a shed frame racing a deadline frame survives any TCP segmentation.
+    const std::string stream = encode_frame(shed) + encode_frame(late);
+    for (std::size_t split = 0; split <= stream.size(); ++split) {
+        FrameReader r;
+        r.feed(std::string_view(stream).substr(0, split));
+        std::vector<std::string> got;
+        while (auto b = r.next()) got.push_back(*b);
+        r.feed(std::string_view(stream).substr(split));
+        while (auto b = r.next()) got.push_back(*b);
+        ASSERT_FALSE(r.failed()) << "split at " << split;
+        ASSERT_EQ(got.size(), 2u) << "split at " << split;
+        EXPECT_EQ(got[0], shed);
+        EXPECT_EQ(got[1], late);
+    }
+}
+
+TEST(Responses, ApproxQualityPayloadRoundTrips) {
+    Json p = Json::object();
+    p.set("source", Json::string("approx"));
+    p.set("quality", Json::string("approx"));
+    p.set("distance", Json::number(0.012));
+    const Json j = Json::parse(hap::service::ok_response("q11", p));
+    EXPECT_TRUE(j.at("ok").as_bool());
+    EXPECT_EQ(j.at("quality").as_string(), "approx");
+    EXPECT_EQ(j.at("distance").as_number(), 0.012);
+}
+
 TEST(Responses, EnvelopesAreWellFormed) {
     const Json ok = Json::parse(hap::service::ok_response("q1", [] {
         Json p = Json::object();

@@ -180,6 +180,32 @@ def main():
             print(f"  {label:24s} {po:10.3g} -> {pn:10.3g} events/sec "
                   f"({pn / po:.2f}x, informational)")
 
+    # Service-load lanes (bench/hapd_load), informational only: latency
+    # percentiles and the shed/approx/clamped split move with scheduling on a
+    # deliberately saturated 2-worker daemon, so nothing here gates — the
+    # chaos suite (tests/chaos_test.cpp) pins the exact overload accounting.
+    p50_old, p50_new = base.get("p50_ms_1x"), cur.get("p50_ms_1x")
+    if isinstance(p50_new, (int, float)) and p50_new > 0:
+        ref = cur.get("ref_label", "load_1x")
+        if isinstance(p50_old, (int, float)) and p50_old > 0:
+            print(f"service latency (informational, {ref}): baseline p50 "
+                  f"{p50_old:.3g} -> current {p50_new:.3g} ms "
+                  f"({p50_new / p50_old:.2f}x)")
+        else:
+            print(f"service latency (informational, {ref}): "
+                  f"p50 {p50_new:.3g} ms")
+        for label in shared:
+            pn = cur_pts[label]
+            if not isinstance(pn.get("p99_ms"), (int, float)):
+                continue
+            rates = "/".join(
+                f"{100.0 * pn[f]:.0f}" if isinstance(pn.get(f), (int, float))
+                else "?"
+                for f in ("shed_rate", "approx_rate", "clamped_rate"))
+            print(f"  {label:24s} p50 {pn.get('p50_ms', 0):8.1f} ms  "
+                  f"p99 {pn.get('p99_ms', 0):8.1f} ms  "
+                  f"shed/approx/clamped {rates}% (informational)")
+
     if improvements:
         print(f"\n{len(improvements)} improvement(s):")
         for label, field, old, new in improvements:

@@ -604,7 +604,10 @@ int cmd_admission(const cli::Flags& f) {
 int cmd_serve(const cli::Flags& f) {
     f.reject_unknown({"socket", "port", "threads", "cache", "tol", "trunc-tol",
                       "sweeps", "zmax", "solver-threads", "timeout-ms",
-                      "budget-iters", "budget-states", "budget-wall-ms"});
+                      "budget-iters", "budget-states", "budget-wall-ms",
+                      "max-conns", "max-pending", "retry-after-ms",
+                      "degrade-depth", "shed-depth", "approx-dist",
+                      "clamp-iters"});
     service::ServeOptions o;
     o.socket_path = f.text("socket", "");
     o.port = static_cast<int>(f.count("port", 0));
@@ -617,6 +620,14 @@ int cmd_serve(const cli::Flags& f) {
     o.solver_threads = f.count("solver-threads", 1);
     o.recv_timeout_ms = static_cast<int>(f.count("timeout-ms", 30000));
     o.budget = budget_from_flags(f);
+    // Overload governor & degradation ladder (DESIGN.md §4l).
+    o.max_connections = f.count("max-conns", 0);
+    o.max_pending = f.count("max-pending", 16);
+    o.retry_after_ms = f.count("retry-after-ms", 50);
+    o.degrade_depth = f.count("degrade-depth", 0);
+    o.shed_depth = f.count("shed-depth", 0);
+    o.approx_rel_distance = f.number("approx-dist", 0.05);
+    o.clamp_budget.max_iterations = f.count("clamp-iters", 250);
     o.log = [](const std::string& line) {
         std::printf("%s\n", line.c_str());
         std::fflush(stdout);
@@ -648,15 +659,19 @@ service::ModelSpec spec_from_flags(const cli::Flags& f) {
 }
 
 int cmd_query(const cli::Flags& f) {
-    f.reject_unknown(with(kModelFlags, {"socket", "port", "op", "budget", "id"}));
+    f.reject_unknown(with(kModelFlags, {"socket", "port", "op", "budget", "id",
+                                        "deadline-ms", "retries", "retry-base-ms",
+                                        "retry-seed", "connect-timeout-ms"}));
     const std::string op = f.text("op", "solve");
     const std::string id = f.text("id", "cli");
+    const auto deadline_ms = static_cast<std::uint64_t>(f.count("deadline-ms", 0));
     std::string body;
     if (op == "solve") {
-        body = service::build_solve_request(spec_from_flags(f), id);
+        body = service::build_solve_request(spec_from_flags(f), id, deadline_ms);
     } else if (op == "admission") {
         body = service::build_admission_request(spec_from_flags(f),
-                                                f.number("budget", 0.1), id);
+                                                f.number("budget", 0.1), id,
+                                                deadline_ms);
     } else if (op == "ping") {
         body = service::build_simple_request(service::Op::Ping, id);
     } else if (op == "metrics") {
@@ -667,11 +682,21 @@ int cmd_query(const cli::Flags& f) {
         throw std::invalid_argument("unknown --op '" + op +
                                     "' (solve|admission|ping|metrics|shutdown)");
     }
-    service::Client client =
-        f.has("socket") ? service::Client::connect_unix(f.text("socket", ""))
-                        : service::Client::connect_tcp(
-                              static_cast<int>(f.count("port", 0)));
-    const std::string response = client.call(body);
+    const int connect_timeout_ms =
+        static_cast<int>(f.count("connect-timeout-ms", 5000));
+    const auto connect = [&]() {
+        return f.has("socket")
+                   ? service::Client::connect_unix(f.text("socket", ""),
+                                                   connect_timeout_ms)
+                   : service::Client::connect_tcp(static_cast<int>(f.count("port", 0)),
+                                                  "127.0.0.1", connect_timeout_ms);
+    };
+    service::RetryPolicy policy;
+    policy.max_retries = f.count("retries", 0);
+    policy.base_ms = f.count("retry-base-ms", 10);
+    policy.seed = static_cast<std::uint64_t>(f.count("retry-seed", 1));
+    const service::CallOutcome outcome = service::call_with_retry(connect, body, policy);
+    const std::string& response = outcome.body;
     const experiment::Json j = experiment::Json::parse(response);
     std::printf("%s\n", response.c_str());
     if (op == "metrics") {
@@ -708,14 +733,20 @@ void usage() {
         "                   [--cache FILE] [--tol E --trunc-tol E --sweeps N\n"
         "                   --zmax N --solver-threads N --timeout-ms T\n"
         "                   --budget-iters N --budget-states N --budget-wall-ms T]\n"
-        "                   resident capacity-planning daemon (hapd): answers\n"
-        "                   solve/admission queries over a persistent cache of\n"
-        "                   operating points with nearest-neighbor warm starts;\n"
-        "                   prints \"READY <endpoint>\" when accepting\n"
+        "                   [--max-conns N --max-pending N --retry-after-ms T\n"
+        "                   --degrade-depth N --shed-depth N --approx-dist D\n"
+        "                   --clamp-iters N]  resident capacity-planning daemon\n"
+        "                   (hapd): answers solve/admission queries over a\n"
+        "                   persistent cache with nearest-neighbor warm starts;\n"
+        "                   sheds/degrades under overload (README \"Overload\n"
+        "                   behavior\"); prints \"READY <endpoint>\" when accepting\n"
         "  hapctl query     [--socket PATH | --port N] [--op solve|admission|\n"
         "                   ping|metrics|shutdown] [model flags] [--budget T]\n"
-        "                   [--id S]  one query against a running hapd; prints\n"
-        "                   the JSON response (see README \"Serving queries\")\n\n"
+        "                   [--id S] [--deadline-ms T --connect-timeout-ms T\n"
+        "                   --retries N --retry-base-ms T --retry-seed S]\n"
+        "                   one query against a running hapd; prints the JSON\n"
+        "                   response, retrying overloaded/lost calls with\n"
+        "                   deterministic backoff (README \"Serving queries\")\n\n"
         "model flags (defaults = paper baseline):\n"
         "  --lambda 0.0055 --mu 0.001 --lambda1 0.01 --mu1 0.01 --l 5\n"
         "  --lambda2 0.1 --m 3 --service 20 [--max-users N --max-apps N]\n");
